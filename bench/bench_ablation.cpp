@@ -1,0 +1,147 @@
+// Ablation studies over the algorithm's design choices (DESIGN.md):
+//   1. primary-savings model: simple Eq.-1 vs refined Eq.-3 event pairs,
+//   2. the cost-function weights ωp/ωa (Sec. 5.1): higher area weight
+//      must isolate fewer, larger-payoff modules,
+//   3. the h_min acceptance threshold,
+//   4. iterative one-per-block isolation vs isolate-everything-at-once
+//      (omega/h knobs emulate the greedy-all variant).
+
+#include <cstdio>
+
+#include "designs/designs.hpp"
+#include "isolation/algorithm.hpp"
+
+namespace {
+
+opiso::StimulusFactory stimuli() {
+  using namespace opiso;
+  return [] {
+    auto comp = std::make_unique<CompositeStimulus>(std::make_unique<UniformStimulus>(4001));
+    comp->route("act", std::make_unique<ControlledBitStimulus>(0.25, 0.2, 4002));
+    comp->route("g1", std::make_unique<ControlledBitStimulus>(0.5, 0.3, 4003));
+    comp->route("g2", std::make_unique<ControlledBitStimulus>(0.5, 0.3, 4004));
+    return comp;
+  };
+}
+
+void report(const char* label, const opiso::IsolationResult& res) {
+  std::printf("  %-34s power %7.3f mW (-%5.2f%%)  area +%5.2f%%  isolated %zu  iters %zu\n",
+              label, res.power_after_mw, res.power_reduction_pct(), res.area_increase_pct(),
+              res.records.size(), res.iterations.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace opiso;
+  const Netlist design = make_design1(8);
+
+  std::printf("Ablation — design1\n\n");
+
+  std::printf("[1] primary-savings model\n");
+  for (PrimaryModel model : {PrimaryModel::Simple, PrimaryModel::Refined}) {
+    IsolationOptions opt;
+    opt.sim_cycles = 8192;
+    opt.primary_model = model;
+    report(model == PrimaryModel::Simple ? "Eq.-1 simple" : "Eq.-3 refined (event pairs)",
+           run_operand_isolation(design, stimuli(), opt));
+  }
+
+  std::printf("\n[2] cost weights omega_a (omega_p = 1)\n");
+  for (double wa : {0.0, 0.05, 0.5, 2.0, 10.0}) {
+    IsolationOptions opt;
+    opt.sim_cycles = 8192;
+    opt.omega_a = wa;
+    char label[64];
+    std::snprintf(label, sizeof label, "omega_a = %.2f", wa);
+    report(label, run_operand_isolation(design, stimuli(), opt));
+  }
+
+  std::printf("\n[3] acceptance threshold h_min\n");
+  for (double hmin : {-1.0, 0.0, 0.002, 0.01, 0.05}) {
+    IsolationOptions opt;
+    opt.sim_cycles = 8192;
+    opt.h_min = hmin;
+    char label[64];
+    std::snprintf(label, sizeof label, "h_min = %.3f", hmin);
+    report(label, run_operand_isolation(design, stimuli(), opt));
+  }
+
+  std::printf("\n[4] slack threshold (candidate veto)\n");
+  for (double thr : {0.0, 10.0, 15.0, 18.0}) {
+    IsolationOptions opt;
+    opt.sim_cycles = 8192;
+    opt.slack_threshold_ns = thr;
+    char label[64];
+    std::snprintf(label, sizeof label, "slack threshold = %.1f ns", thr);
+    report(label, run_operand_isolation(design, stimuli(), opt));
+  }
+
+  std::printf("\n[5] register lookahead (Sec. 3 extension) — pipeline with registered selects\n");
+  {
+    // Adder/multiplier feeding always-enabled registers whose values
+    // are consumed under *registered* selects: the f+_r = 1 cut derives
+    // f = 1 (nothing to isolate); structural lookahead recovers it.
+    Netlist pipe("lookahead_pipe");
+    const NetId a = pipe.add_input("a", 8);
+    const NetId b = pipe.add_input("b", 8);
+    const NetId alt = pipe.add_input("alt", 8);
+    const NetId alt2 = pipe.add_input("alt2", 16);
+    const NetId sel_d = pipe.add_input("sel_d", 1);
+    const NetId one = pipe.add_const("one", 1, 1);
+    const NetId sum = pipe.add_binop(CellKind::Add, "sum", a, b);
+    const NetId prod = pipe.add_binop(CellKind::Mul, "prod", a, b);
+    const NetId r0 = pipe.add_reg("r0", sum, one);
+    const NetId rp = pipe.add_reg("rp", prod, one);
+    const NetId sel_q = pipe.add_reg("sel_q", sel_d, one);
+    const NetId ralt = pipe.add_reg("ralt", alt, one);
+    const NetId ralt2 = pipe.add_reg("ralt2", alt2, one);
+    const NetId m = pipe.add_mux2("m", sel_q, ralt, r0);
+    const NetId m2 = pipe.add_mux2("m2", sel_q, rp, ralt2);
+    const NetId sum2 = pipe.add_binop(CellKind::Add, "sum2", m, m2);
+    const NetId r_out = pipe.add_reg("r_out", sum2, one);
+    pipe.add_output("out", r_out);
+
+    const StimulusFactory pipe_stim = [] {
+      auto comp = std::make_unique<CompositeStimulus>(std::make_unique<UniformStimulus>(4005));
+      comp->route("sel_d", std::make_unique<ControlledBitStimulus>(0.15, 0.1, 4006));
+      return comp;
+    };
+    for (bool lookahead : {false, true}) {
+      IsolationOptions opt;
+      opt.sim_cycles = 8192;
+      opt.activation.register_lookahead = lookahead;
+      report(lookahead ? "with lookahead" : "f+_r = 1 cut (paper default)",
+             run_operand_isolation(pipe, pipe_stim, opt));
+    }
+  }
+
+  std::printf("\n[6] FSM-reachability don't-cares + per-candidate style — design2\n");
+  {
+    const Netlist d2 = make_design2(8, 2);
+    const StimulusFactory d2_stim = [] { return std::make_unique<UniformStimulus>(4007); };
+    for (int mode = 0; mode < 3; ++mode) {
+      IsolationOptions opt;
+      opt.sim_cycles = 8192;
+      opt.use_reachability_dont_cares = (mode >= 1);
+      opt.choose_style_per_candidate = (mode == 2);
+      const IsolationResult res = run_operand_isolation(d2, d2_stim, opt);
+      std::size_t literals = 0;
+      for (const IsolationRecord& rec : res.records) literals += rec.literal_count;
+      char label[72];
+      std::snprintf(label, sizeof label, "%s (%zu AS literals)",
+                    mode == 0   ? "baseline"
+                    : mode == 1 ? "+ reachability don't-cares"
+                                : "+ don't-cares + mixed style",
+                    literals);
+      report(label, res);
+    }
+  }
+
+  std::printf(
+      "\nExpected shapes: refined model ranks like simple on this design;"
+      "\nrising omega_a / h_min / slack-threshold monotonically prune isolations;"
+      "\nlookahead isolates modules the f+_r = 1 cut must leave alone;"
+      "\nreachability don't-cares never grow the activation logic.\n");
+  return 0;
+}

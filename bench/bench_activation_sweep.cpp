@@ -1,0 +1,75 @@
+// Reproduces the Sec.-6 activation-statistics experiment on design1:
+// "we generated a set of testbenches ranging between low and high static
+// probabilities and toggle rates of the activation signal. Average
+// reduction in power consumption varied between 19% and 30%; overall the
+// power reduction varied between approximately 5% in the worst case and
+// 70% in the best case."
+//
+// The sweep drives the primary-input activation signal `act` with a
+// stationary Markov stream at each (Pr[1], toggle-rate) grid point and
+// reports the AND-isolation power reduction per point, plus per-row
+// averages and the overall min/max.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "designs/designs.hpp"
+#include "isolation/algorithm.hpp"
+
+int main() {
+  using namespace opiso;
+  const std::vector<double> probs = {0.05, 0.10, 0.25, 0.50, 0.75, 0.90};
+  const std::vector<double> rel_toggle = {0.25, 0.50, 0.90};  // of max feasible
+
+  IsolationOptions opt;
+  opt.sim_cycles = 8192;
+  opt.omega_a = 0.05;
+
+  std::printf("Activation-statistics sweep — design1, AND isolation\n");
+  std::printf("rows: Pr[act=1]; columns: toggle rate as fraction of 2*min(p,1-p)\n\n");
+  std::printf("%8s", "Pr[1]");
+  for (double rt : rel_toggle) std::printf("  tr=%.2f*max", rt);
+  std::printf("  row-avg\n");
+
+  double overall_min = 1e9;
+  double overall_max = -1e9;
+  double grand_sum = 0.0;
+  int grand_count = 0;
+
+  for (double p1 : probs) {
+    std::printf("%8.2f", p1);
+    double row_sum = 0.0;
+    for (double rt : rel_toggle) {
+      const double tr = rt * 2.0 * std::min(p1, 1.0 - p1);
+      // Downstream enables pinned high so the sweep measures the
+      // first-stage candidates the paper's testbench controls; only the
+      // `act` statistics vary.
+      const StimulusFactory stimuli = [p1, tr] {
+        auto comp =
+            std::make_unique<CompositeStimulus>(std::make_unique<UniformStimulus>(3001));
+        comp->route("act", std::make_unique<ControlledBitStimulus>(p1, tr, 3002));
+        comp->route("g1", std::make_unique<ControlledBitStimulus>(0.9, 0.1, 3003));
+        comp->route("g2", std::make_unique<ControlledBitStimulus>(0.9, 0.1, 3004));
+        comp->route("sel", std::make_unique<ControlledBitStimulus>(0.5, 0.2, 3005));
+        return comp;
+      };
+      const IsolationResult res = run_operand_isolation(make_design1(8), stimuli, opt);
+      const double red = res.power_reduction_pct();
+      std::printf("      %6.2f%%", red);
+      row_sum += red;
+      overall_min = std::min(overall_min, red);
+      overall_max = std::max(overall_max, red);
+      grand_sum += red;
+      ++grand_count;
+    }
+    std::printf("  %6.2f%%\n", row_sum / static_cast<double>(rel_toggle.size()));
+  }
+
+  std::printf("\noverall: min %.2f%%  max %.2f%%  average %.2f%%\n", overall_min, overall_max,
+              grand_sum / grand_count);
+  std::printf(
+      "Paper shape: reduction falls as Pr[act] rises; worst case a few %%,"
+      "\n             best case several-fold larger (paper: ~5%% .. ~70%%, avg 19–30%%).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quantifies the Sec.-2 qualitative comparison: coverage and savings of
+// automated RTL operand isolation vs guarded evaluation (existing-signal
+// guards, Tiwari et al.) and control-signal gating (register-enable
+// gating, Kapadia et al.) on fig1, design1 and design2.
+
+#include <cstdio>
+
+#include "baseline/control_signal_gating.hpp"
+#include "baseline/guarded_eval.hpp"
+#include "designs/designs.hpp"
+
+namespace {
+
+using namespace opiso;
+
+void compare(const char* title, const Netlist& design, const StimulusFactory& stimuli) {
+  IsolationOptions opt;
+  opt.sim_cycles = 8192;
+  opt.omega_a = 0.0;
+  opt.h_min = -1e9;  // coverage comparison: isolate everything legal
+  const IsolationResult full = run_operand_isolation(design, stimuli, opt);
+
+  GuardedEvalOptions ge_opt;
+  ge_opt.sim_cycles = 8192;
+  const GuardedEvalResult ge = run_guarded_evaluation(design, stimuli, ge_opt);
+
+  CsgOptions csg_opt;
+  csg_opt.sim_cycles = 8192;
+  const CsgResult csg = run_control_signal_gating(design, stimuli, csg_opt);
+
+  std::printf("%s\n", title);
+  std::printf("  %-26s %10s %12s\n", "technique", "coverage", "power red.");
+  std::printf("  %-26s %7zu/%-2zu %10.2f%%\n", "operand isolation (this)", full.records.size(),
+              ge.num_candidates, full.power_reduction_pct());
+  std::printf("  %-26s %7zu/%-2zu %10.2f%%\n", "guarded evaluation [9]", ge.num_guarded,
+              ge.num_candidates, ge.power_reduction_pct());
+  std::printf("  %-26s %7zu/%-2zu %10.2f%%\n", "control-signal gating [4]", csg.num_covered,
+              csg.num_candidates, csg.power_reduction_pct());
+  for (std::size_t i = 0; i < csg.uncovered.size(); ++i) {
+    std::printf("      CSG skipped %-10s: %s\n",
+                csg.netlist.cell(csg.uncovered[i]).name.c_str(),
+                csg.uncovered_reasons[i].c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const StimulusFactory f1_stim = [] {
+    auto comp = std::make_unique<CompositeStimulus>(std::make_unique<UniformStimulus>(6001));
+    comp->route("G0", std::make_unique<ControlledBitStimulus>(0.3, 0.3, 6002));
+    comp->route("G1", std::make_unique<ControlledBitStimulus>(0.3, 0.3, 6003));
+    return comp;
+  };
+  const StimulusFactory d1_stim = [] {
+    auto comp = std::make_unique<CompositeStimulus>(std::make_unique<UniformStimulus>(6004));
+    comp->route("act", std::make_unique<ControlledBitStimulus>(0.25, 0.2, 6005));
+    return comp;
+  };
+  const StimulusFactory d2_stim = [] { return std::make_unique<UniformStimulus>(6006); };
+
+  std::printf("Baseline comparison (Sec. 2) — coverage = modules optimized / candidates\n\n");
+  compare("fig1:", make_fig1(8), f1_stim);
+  compare("design1:", make_design1(8), d1_stim);
+  compare("design2 (1 lane):", make_design2(8, 1), d2_stim);
+  std::printf(
+      "Paper shape: operand isolation covers every candidate; guarded\n"
+      "evaluation misses disjunctive activation cases; CSG misses PI-fed\n"
+      "and multi-fanout-register cases.\n");
+  return 0;
+}

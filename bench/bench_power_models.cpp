@@ -1,0 +1,94 @@
+// Macro-model validation (Sec. 4.1's instrument): word-level and
+// bit-level (dual-bit-type flavored) macro models vs a gate-level
+// reference measurement of the lowered netlist, under uniform white
+// noise and under temporally correlated (random-walk) data.
+//
+// Expected shape (Landman): under white noise both macro models track
+// the reference; under correlated data the word-level model (which
+// cannot see that the quiet bits are the *expensive* high-order ones of
+// an adder's carry chain — or conversely) drifts, while the bit-level
+// model stays close. Either way, correlated data burns much less power
+// than white noise at the same throughput.
+
+#include <cmath>
+#include <cstdio>
+
+#include "lower/gate_power.hpp"
+#include "power/bit_model.hpp"
+#include "power/estimator.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace opiso;
+
+Netlist make_datapath(unsigned width) {
+  Netlist nl("macro_validation");
+  const NetId a = nl.add_input("a", width);
+  const NetId b = nl.add_input("b", width);
+  const NetId en = nl.add_input("en", 1);
+  const NetId sum = nl.add_binop(CellKind::Add, "sum", a, b);
+  const NetId dif = nl.add_binop(CellKind::Sub, "dif", a, b);
+  const NetId prd = nl.add_binop(CellKind::Mul, "prd", a, b);
+  const NetId r1 = nl.add_reg("r1", sum, en);
+  const NetId r2 = nl.add_reg("r2", dif, en);
+  const NetId r3 = nl.add_reg("r3", prd, en);
+  nl.add_output("o1", r1);
+  nl.add_output("o2", r2);
+  nl.add_output("o3", r3);
+  return nl;
+}
+
+struct Row {
+  double word_mw;
+  double bit_mw;
+  double gate_mw;
+};
+
+Row measure(const Netlist& nl, bool correlated, std::uint64_t cycles) {
+  auto make_stim = [&]() -> std::unique_ptr<Stimulus> {
+    auto comp = std::make_unique<CompositeStimulus>(
+        correlated ? std::unique_ptr<Stimulus>(std::make_unique<CorrelatedWalkStimulus>(0.02, 7101))
+                   : std::unique_ptr<Stimulus>(std::make_unique<UniformStimulus>(7101)));
+    comp->route("en", std::make_unique<ControlledBitStimulus>(0.5, 0.3, 7102));
+    return comp;
+  };
+
+  Row row{};
+  {
+    Simulator sim(nl);
+    sim.enable_bit_stats();
+    auto stim = make_stim();
+    sim.run(*stim, cycles);
+    row.word_mw = PowerEstimator().estimate(nl, sim.stats()).total_mw;
+    row.bit_mw = BitLevelPowerEstimator().total_power_mw(nl, sim.stats());
+  }
+  {
+    auto stim = make_stim();
+    row.gate_mw = measure_gate_level_power(nl, *stim, cycles).total_mw;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const Netlist nl = make_datapath(8);
+  constexpr std::uint64_t kCycles = 8192;
+
+  std::printf("Macro-model validation — add/sub/mul datapath, 8-bit operands\n\n");
+  std::printf("%-22s %10s %10s %12s %10s %10s\n", "stimulus", "word[mW]", "bit[mW]",
+              "gate-ref[mW]", "word/ref", "bit/ref");
+  for (bool correlated : {false, true}) {
+    const Row r = measure(nl, correlated, kCycles);
+    std::printf("%-22s %10.3f %10.3f %12.3f %10.2f %10.2f\n",
+                correlated ? "correlated walk (2%)" : "uniform white noise", r.word_mw,
+                r.bit_mw, r.gate_mw, r.word_mw / r.gate_mw, r.bit_mw / r.gate_mw);
+  }
+  std::printf(
+      "\nExpected shape: correlated data burns a fraction of the white-noise\n"
+      "power; the bit-level (dual-bit-type) model tracks the gate-level\n"
+      "reference at least as closely as the word-level model under\n"
+      "correlation (Landman-style macro modeling, paper ref. [5]).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Complexity benchmark (google-benchmark): Sec. 3 claims the activation
+// functions of all modules are derived in O(|V|+|E|) by one backward
+// breadth-first pass. We grow the parametric datapath and time
+// derivation, candidate identification, STA and one simulated cycle
+// batch; derivation time per cell should stay ~flat.
+
+#include <benchmark/benchmark.h>
+
+#include "designs/designs.hpp"
+#include "isolation/algorithm.hpp"
+#include "netlist/traversal.hpp"
+#include "timing/sta.hpp"
+
+namespace {
+
+using namespace opiso;
+
+Netlist design_of_size(int lanes) {
+  return make_parametric_datapath({static_cast<unsigned>(lanes), 4, 8, true});
+}
+
+void BM_DeriveActivation(benchmark::State& state) {
+  const Netlist nl = design_of_size(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ExprPool pool;
+    NetVarMap vars;
+    const ActivationAnalysis aa = derive_activation(nl, pool, vars);
+    benchmark::DoNotOptimize(aa.obs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nl.num_cells()));
+  state.counters["cells"] = static_cast<double>(nl.num_cells());
+}
+BENCHMARK(BM_DeriveActivation)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_IdentifyCandidates(benchmark::State& state) {
+  const Netlist nl = design_of_size(static_cast<int>(state.range(0)));
+  ExprPool pool;
+  NetVarMap vars;
+  const ActivationAnalysis aa = derive_activation(nl, pool, vars);
+  const auto blocks = combinational_blocks(nl);
+  for (auto _ : state) {
+    auto cands = identify_candidates(nl, blocks, aa, pool, CandidateConfig{});
+    benchmark::DoNotOptimize(cands.data());
+  }
+}
+BENCHMARK(BM_IdentifyCandidates)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Sta(benchmark::State& state) {
+  const Netlist nl = design_of_size(static_cast<int>(state.range(0)));
+  const DelayModel dm;
+  for (auto _ : state) {
+    const TimingReport rep = run_sta(nl, dm);
+    benchmark::DoNotOptimize(rep.worst_slack);
+  }
+}
+BENCHMARK(BM_Sta)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Simulate1k(benchmark::State& state) {
+  const Netlist nl = design_of_size(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Simulator sim(nl);
+    UniformStimulus stim(7);
+    sim.run(stim, 1000);
+    benchmark::DoNotOptimize(sim.stats().cycles);
+  }
+  state.counters["cells"] = static_cast<double>(nl.num_cells());
+}
+BENCHMARK(BM_Simulate1k)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_FullIsolationFlow(benchmark::State& state) {
+  const Netlist nl = design_of_size(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    IsolationOptions opt;
+    opt.sim_cycles = 512;
+    const IsolationResult res = run_operand_isolation(
+        nl, [] { return std::make_unique<UniformStimulus>(11); }, opt);
+    benchmark::DoNotOptimize(res.power_after_mw);
+  }
+}
+BENCHMARK(BM_FullIsolationFlow)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+#pragma once
+// Shared harness for the table benchmarks: runs the full isolation flow
+// for every isolation style on one design and prints the paper's table
+// layout (power / %reduction / area / %increase / slack / %reduction).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "isolation/algorithm.hpp"
+
+namespace opiso::bench {
+
+struct StyleRow {
+  std::string label;
+  double power_mw = 0.0;
+  double power_red_pct = 0.0;  // vs non-isolated
+  double area_um2 = 0.0;
+  double area_inc_pct = 0.0;
+  double slack_ns = 0.0;
+  double slack_red_pct = 0.0;
+  std::size_t modules_isolated = 0;
+};
+
+struct TableResult {
+  StyleRow baseline;  ///< non-isolated
+  std::vector<StyleRow> rows;
+};
+
+/// Runs the Algorithm-1 flow once per style (plus the per-candidate
+/// MIXED style extension) and assembles the table.
+inline TableResult run_style_table(const Netlist& design, const StimulusFactory& stimuli,
+                                   IsolationOptions opt, bool include_mixed = true) {
+  TableResult table;
+  bool have_baseline = false;
+  auto add_row = [&](const std::string& label, const IsolationResult& res) {
+    if (!have_baseline) {
+      table.baseline = StyleRow{"non-isolated", res.power_before_mw,   0.0,
+                                res.area_before_um2,  0.0, res.slack_before_ns, 0.0, 0};
+      have_baseline = true;
+    }
+    StyleRow row;
+    row.label = label;
+    row.power_mw = res.power_after_mw;
+    row.power_red_pct = res.power_reduction_pct();
+    row.area_um2 = res.area_after_um2;
+    row.area_inc_pct = res.area_increase_pct();
+    row.slack_ns = res.slack_after_ns;
+    row.slack_red_pct = res.slack_reduction_pct();
+    row.modules_isolated = res.records.size();
+    table.rows.push_back(row);
+  };
+  for (IsolationStyle style :
+       {IsolationStyle::And, IsolationStyle::Or, IsolationStyle::Latch}) {
+    opt.style = style;
+    opt.choose_style_per_candidate = false;
+    add_row(std::string(isolation_style_name(style)) + "-isolated",
+            run_operand_isolation(design, stimuli, opt));
+  }
+  if (include_mixed) {
+    opt.choose_style_per_candidate = true;
+    add_row("MIX-isolated", run_operand_isolation(design, stimuli, opt));
+  }
+  return table;
+}
+
+inline void print_row(const StyleRow& r, bool baseline) {
+  if (baseline) {
+    std::printf("  %-14s %8.3f      n/a %10.0f      n/a %7.2f      n/a\n", r.label.c_str(),
+                r.power_mw, r.area_um2, r.slack_ns);
+  } else {
+    std::printf("  %-14s %8.3f %7.2f%% %10.0f %7.2f%% %7.2f %7.2f%%   (%zu modules)\n",
+                r.label.c_str(), r.power_mw, r.power_red_pct, r.area_um2, r.area_inc_pct,
+                r.slack_ns, r.slack_red_pct, r.modules_isolated);
+  }
+}
+
+inline void print_table(const std::string& title, const TableResult& table) {
+  std::printf("%s\n", title.c_str());
+  std::printf("  %-14s %8s %8s %10s %8s %7s %8s\n", "", "Power", "%red", "Area[um2]", "%inc",
+              "Slack", "%red");
+  print_row(table.baseline, true);
+  for (const StyleRow& r : table.rows) print_row(r, false);
+}
+
+}  // namespace opiso::bench

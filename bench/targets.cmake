@@ -1,0 +1,20 @@
+# One binary per reproduced table/figure (see DESIGN.md experiment index).
+# All binaries land in ${CMAKE_BINARY_DIR}/bench with nothing else, so
+# `for b in build/bench/*; do $b; done` runs the full evaluation.
+set(OPISO_BENCH_LIBS opiso_isolation opiso_baseline opiso_designs opiso_lower)
+
+function(opiso_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE ${OPISO_BENCH_LIBS} ${ARGN})
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+opiso_add_bench(bench_table1)
+opiso_add_bench(bench_table2)
+opiso_add_bench(bench_activation_sweep)
+opiso_add_bench(bench_ablation)
+opiso_add_bench(bench_model_accuracy)
+opiso_add_bench(bench_baselines)
+opiso_add_bench(bench_power_models opiso_lower)
+opiso_add_bench(bench_scaling benchmark::benchmark)

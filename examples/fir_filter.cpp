@@ -1,0 +1,75 @@
+// FIR-filter example driven through the RTL language frontend: a 4-tap
+// filter with a power-down input. When `enable` is low the accumulator
+// holds and all four multipliers plus the adder tree compute redundantly
+// — operand isolation recovers that power. Demonstrates the textual
+// front door (parse_rtl) and duty-cycle sensitivity.
+
+#include <cstdio>
+
+#include "frontend/rtl_parser.hpp"
+#include "isolation/activation.hpp"
+#include "isolation/algorithm.hpp"
+
+namespace {
+
+constexpr const char* kFirRtl = R"(
+design fir4
+input x:8
+input enable
+const one:1 = 1
+const c0:8 = 3
+const c1:8 = 7
+const c2:8 = 7
+const c3:8 = 3
+reg d1:8 = x when one
+reg d2:8 = d1 when one
+reg d3:8 = d2 when one
+wire p0 = x * c0
+wire p1 = d1 * c1
+wire p2 = d2 * c2
+wire p3 = d3 * c3
+wire s01 = p0 + p1
+wire s23 = p2 + p3
+wire y = s01 + s23
+reg acc:16 = y when enable
+output out = acc
+)";
+
+}  // namespace
+
+int main() {
+  using namespace opiso;
+  const Netlist fir = parse_rtl(kFirRtl);
+  std::printf("fir4 (from RTL text): %zu cells\n\n", fir.num_cells());
+
+  {
+    ExprPool pool;
+    NetVarMap vars;
+    const ActivationAnalysis aa = derive_activation(fir, pool, vars);
+    std::printf("every arithmetic module derives AS = enable:\n");
+    for (CellId id : fir.cell_ids()) {
+      if (!cell_kind_is_arith(fir.cell(id).kind)) continue;
+      std::printf("  %-4s: AS = %s\n", fir.cell(id).name.c_str(),
+                  activation_to_string(fir, pool, vars, aa.activation_of(fir, id)).c_str());
+    }
+  }
+
+  std::printf("\n%-24s %10s %10s %9s %9s\n", "duty cycle of enable", "before", "after",
+              "saved", "modules");
+  for (double duty : {0.9, 0.5, 0.1}) {
+    const StimulusFactory stimuli = [duty] {
+      auto comp = std::make_unique<CompositeStimulus>(std::make_unique<UniformStimulus>(5));
+      comp->route("enable", std::make_unique<ControlledBitStimulus>(duty, 0.1, 6));
+      return comp;
+    };
+    IsolationOptions opt;
+    opt.sim_cycles = 8192;
+    const IsolationResult res = run_operand_isolation(fir, stimuli, opt);
+    std::printf("Pr[enable]=%.1f            %7.3f mW %7.3f mW %8.2f%% %9zu\n", duty,
+                res.power_before_mw, res.power_after_mw, res.power_reduction_pct(),
+                res.records.size());
+  }
+  std::printf("\nThe lower the duty cycle, the closer the filter's power\n"
+              "approaches the cost of its registers alone.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: the complete operand-isolation flow on the paper's Fig.-1
+// circuit in ~60 lines of API usage.
+//
+//   1. Build an RTL netlist with the builder API.
+//   2. Derive the activation functions (Sec. 3).
+//   3. Run the automated isolation algorithm (Sec. 5).
+//   4. Compare power, area and slack before/after.
+//
+// Build & run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "designs/designs.hpp"
+#include "isolation/activation.hpp"
+#include "isolation/algorithm.hpp"
+
+int main() {
+  using namespace opiso;
+
+  // --- 1. The design: two adders behind a mux/register steering
+  // network (make_fig1 assembles it with Netlist::add_* calls).
+  const Netlist design = make_fig1(8);
+  std::printf("design '%s': %zu cells, %zu nets\n\n", design.name().c_str(),
+              design.num_cells(), design.num_nets());
+
+  // --- 2. Activation functions: one structural backward pass.
+  {
+    ExprPool pool;
+    NetVarMap vars;
+    const ActivationAnalysis aa = derive_activation(design, pool, vars);
+    const Fig1Nets nets = fig1_nets(design);
+    std::printf("derived activation signals (Sec. 3):\n");
+    std::printf("  AS_a0 = %s\n",
+                activation_to_string(design, pool, vars, aa.activation_of(design, nets.a0))
+                    .c_str());
+    std::printf("  AS_a1 = %s\n\n",
+                activation_to_string(design, pool, vars, aa.activation_of(design, nets.a1))
+                    .c_str());
+  }
+
+  // --- 3. Automated isolation. The stimulus mimics a datapath whose
+  // results are consumed rarely: load enables are low-duty.
+  const StimulusFactory stimuli = [] {
+    auto comp = std::make_unique<CompositeStimulus>(std::make_unique<UniformStimulus>(1));
+    comp->route("G0", std::make_unique<ControlledBitStimulus>(0.2, 0.2, 2));
+    comp->route("G1", std::make_unique<ControlledBitStimulus>(0.2, 0.2, 3));
+    return comp;
+  };
+  IsolationOptions options;
+  options.style = IsolationStyle::And;  // the paper's recommended style
+  options.sim_cycles = 8192;
+
+  const IsolationResult result = run_operand_isolation(design, stimuli, options);
+
+  // --- 4. Report.
+  std::printf("isolated %zu module(s):\n", result.records.size());
+  for (const IsolationRecord& rec : result.records) {
+    std::printf("  %s: %u input bits behind %s banks, activation logic: %zu literals\n",
+                result.netlist.cell(rec.candidate).name.c_str(), rec.isolated_bits,
+                std::string(isolation_style_name(rec.style)).c_str(), rec.literal_count);
+  }
+  std::printf("\npower:  %.3f mW -> %.3f mW  (-%.1f%%)\n", result.power_before_mw,
+              result.power_after_mw, result.power_reduction_pct());
+  std::printf("area:   %.0f um^2 -> %.0f um^2  (+%.2f%%)\n", result.area_before_um2,
+              result.area_after_um2, result.area_increase_pct());
+  std::printf("slack:  %.2f ns -> %.2f ns\n", result.slack_before_ns, result.slack_after_ns);
+  return 0;
+}

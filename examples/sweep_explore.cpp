@@ -1,0 +1,48 @@
+// Design-space exploration example: use the library as a what-if tool.
+// For a given design, sweep the isolation style against the activation
+// duty cycle and print which style wins where — the analysis behind the
+// paper's conclusion that combinational isolation should be preferred.
+
+#include <cstdio>
+
+#include "designs/designs.hpp"
+#include "isolation/algorithm.hpp"
+
+int main() {
+  using namespace opiso;
+  const Netlist design = make_design1(8);
+
+  std::printf("style x duty-cycle exploration on design1 (power reduction %%)\n\n");
+  std::printf("%12s %10s %10s %10s   best\n", "Pr[act=1]", "AND", "OR", "LAT");
+
+  for (double p1 : {0.05, 0.2, 0.5, 0.8}) {
+    const StimulusFactory stimuli = [p1] {
+      auto comp = std::make_unique<CompositeStimulus>(std::make_unique<UniformStimulus>(42));
+      comp->route("act", std::make_unique<ControlledBitStimulus>(
+                             p1, 0.5 * 2.0 * std::min(p1, 1.0 - p1), 43));
+      return comp;
+    };
+    double best_red = -1e9;
+    const char* best = "-";
+    std::printf("%12.2f", p1);
+    for (IsolationStyle style :
+         {IsolationStyle::And, IsolationStyle::Or, IsolationStyle::Latch}) {
+      IsolationOptions opt;
+      opt.style = style;
+      opt.sim_cycles = 6144;
+      const IsolationResult res = run_operand_isolation(design, stimuli, opt);
+      const double red = res.power_reduction_pct();
+      std::printf(" %9.2f%%", red);
+      if (red > best_red) {
+        best_red = red;
+        best = isolation_style_name(style).data();
+      }
+    }
+    std::printf("   %s\n", best);
+  }
+  std::printf(
+      "\nExpected: gate-based styles match or beat latches when the module\n"
+      "idles in long runs (the paper's Sec.-6 observation); latches only\n"
+      "catch up when the activation signal toggles every few cycles.\n");
+  return 0;
+}

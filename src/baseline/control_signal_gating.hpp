@@ -1,0 +1,59 @@
+#pragma once
+// Baseline: control-signal gating (Kapadia/Benini/De Micheli, JSSC 1999)
+// — Sec. 2.
+//
+// Instead of inserting activity-blocking cells, CSG gates the *enable*
+// of the registers feeding a module so the operands freeze upstream.
+// The paper names its two structural blind spots, both reproduced here:
+//   1. modules driven by multiple-fanout registers cannot be optimally
+//      isolated (freezing the register would corrupt the other readers'
+//      data flow), and
+//   2. no savings are possible in combinational logic directly fed by
+//      primary inputs (there is no register to gate).
+//
+// A candidate is covered iff every structural source of its input cone
+// is a register whose fanout stays inside that cone. For covered
+// candidates each source register's enable becomes EN ∧ AS. Because the
+// register is gated one cycle before the module consumes the value, AS
+// would strictly need a one-cycle look-ahead; like Kapadia's
+// control-derived gating signals we use the current-cycle activation
+// function as the approximation and bench_baselines reports the
+// resulting fidelity alongside the savings.
+
+#include "isolation/algorithm.hpp"
+
+namespace opiso {
+
+struct CsgOptions {
+  std::uint64_t sim_cycles = 4096;
+  CandidateConfig candidates{};
+  MacroPowerModel power{};
+};
+
+struct CsgResult {
+  Netlist netlist;
+  std::size_t num_candidates = 0;
+  std::size_t num_covered = 0;
+  std::vector<CellId> covered;
+  std::vector<CellId> uncovered;
+  std::vector<std::string> uncovered_reasons;  ///< parallel to `uncovered`
+  double power_before_mw = 0.0;
+  double power_after_mw = 0.0;
+
+  [[nodiscard]] double coverage() const {
+    return num_candidates ? static_cast<double>(num_covered) /
+                                static_cast<double>(num_candidates)
+                          : 0.0;
+  }
+  [[nodiscard]] double power_reduction_pct() const {
+    return power_before_mw > 0
+               ? 100.0 * (power_before_mw - power_after_mw) / power_before_mw
+               : 0.0;
+  }
+};
+
+[[nodiscard]] CsgResult run_control_signal_gating(const Netlist& design,
+                                                  const StimulusFactory& stimuli,
+                                                  const CsgOptions& options = {});
+
+}  // namespace opiso

@@ -1,0 +1,54 @@
+#pragma once
+// Baseline: guarded evaluation (Tiwari/Malik/Ashar, TCAD 1998) — Sec. 2.
+//
+// Guarded evaluation blocks a logic block with transparent latches
+// driven by an *existing* circuit signal. Its structural weakness, which
+// the paper calls out, is that "the existence of such a signal cannot be
+// guaranteed": a module can only be guarded if some already-present
+// 1-bit net g satisfies  f ⟹ g  (g is 1 whenever the module's result is
+// observed — guarding with g never corrupts an observed value, it only
+// forfeits the savings of the cycles where g = 1 but f = 0).
+//
+// This implementation searches the existing control nets for the
+// tightest such g (fewest satisfying assignments beyond f, ranked by
+// BDD probability under uniform inputs) and inserts latch banks driven
+// by it. Candidates with no implied signal are left untouched — that
+// coverage gap is exactly what bench_baselines quantifies against the
+// paper's constructive activation-logic approach.
+
+#include "isolation/algorithm.hpp"
+
+namespace opiso {
+
+struct GuardedEvalOptions {
+  std::uint64_t sim_cycles = 4096;
+  CandidateConfig candidates{};
+  MacroPowerModel power{};
+};
+
+struct GuardedEvalResult {
+  Netlist netlist;
+  std::size_t num_candidates = 0;
+  std::size_t num_guarded = 0;
+  std::vector<CellId> guarded;
+  std::vector<CellId> unguarded;  ///< no existing signal implied by f
+  double power_before_mw = 0.0;
+  double power_after_mw = 0.0;
+
+  [[nodiscard]] double coverage() const {
+    return num_candidates ? static_cast<double>(num_guarded) /
+                                static_cast<double>(num_candidates)
+                          : 0.0;
+  }
+  [[nodiscard]] double power_reduction_pct() const {
+    return power_before_mw > 0
+               ? 100.0 * (power_before_mw - power_after_mw) / power_before_mw
+               : 0.0;
+  }
+};
+
+[[nodiscard]] GuardedEvalResult run_guarded_evaluation(const Netlist& design,
+                                                       const StimulusFactory& stimuli,
+                                                       const GuardedEvalOptions& options = {});
+
+}  // namespace opiso

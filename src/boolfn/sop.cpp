@@ -1,0 +1,130 @@
+#include "boolfn/sop.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace opiso {
+
+std::vector<Cube> extract_cover(BddManager& mgr, BddRef f) {
+  std::vector<Cube> cover;
+  Cube path;
+  std::function<void(BddRef)> walk = [&](BddRef r) {
+    if (mgr.is_zero(r)) return;
+    if (mgr.is_one(r)) {
+      cover.push_back(path);
+      return;
+    }
+    const BoolVar v = mgr.support(r).front();  // top variable (support is sorted)
+    path[v] = false;
+    walk(mgr.restrict_var(r, v, false));
+    path[v] = true;
+    walk(mgr.restrict_var(r, v, true));
+    path.erase(v);
+  };
+  walk(f);
+  return cover;
+}
+
+namespace {
+
+/// a subsumes b if every literal of a appears in b (a is more general).
+bool subsumes(const Cube& a, const Cube& b) {
+  return std::all_of(a.begin(), a.end(), [&](const auto& lit) {
+    auto it = b.find(lit.first);
+    return it != b.end() && it->second == lit.second;
+  });
+}
+
+/// If a and b differ in exactly one variable's polarity and agree on the
+/// rest, return the merged cube without that variable.
+bool try_merge(const Cube& a, const Cube& b, Cube& out) {
+  if (a.size() != b.size()) return false;
+  int diffs = 0;
+  BoolVar diff_var = 0;
+  for (auto ita = a.begin(), itb = b.begin(); ita != a.end(); ++ita, ++itb) {
+    if (ita->first != itb->first) return false;
+    if (ita->second != itb->second) {
+      if (++diffs > 1) return false;
+      diff_var = ita->first;
+    }
+  }
+  if (diffs != 1) return false;
+  out = a;
+  out.erase(diff_var);
+  return true;
+}
+
+}  // namespace
+
+std::vector<Cube> merge_cover(const std::vector<Cube>& cover) {
+  std::vector<Cube> cur = cover;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Distance-1 merging.
+    for (std::size_t i = 0; i < cur.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < cur.size() && !changed; ++j) {
+        Cube merged;
+        if (try_merge(cur[i], cur[j], merged)) {
+          cur.erase(cur.begin() + static_cast<std::ptrdiff_t>(j));
+          cur.erase(cur.begin() + static_cast<std::ptrdiff_t>(i));
+          cur.push_back(std::move(merged));
+          changed = true;
+        }
+      }
+    }
+    // Subsumption removal.
+    for (std::size_t i = 0; i < cur.size() && !changed; ++i) {
+      for (std::size_t j = 0; j < cur.size() && !changed; ++j) {
+        if (i != j && subsumes(cur[i], cur[j])) {
+          cur.erase(cur.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+        }
+      }
+    }
+  }
+  std::sort(cur.begin(), cur.end());
+  return cur;
+}
+
+std::size_t cover_literal_count(const std::vector<Cube>& cover) {
+  std::size_t count = 0;
+  for (const Cube& c : cover) count += c.size();
+  return count;
+}
+
+std::string cover_to_string(const std::vector<Cube>& cover,
+                            const std::function<std::string(BoolVar)>& name) {
+  if (cover.empty()) return "0";
+  std::string out;
+  for (std::size_t i = 0; i < cover.size(); ++i) {
+    if (i > 0) out += " | ";
+    if (cover[i].empty()) {
+      out += "1";
+      continue;
+    }
+    bool first = true;
+    for (const auto& [v, pol] : cover[i]) {
+      if (!first) out += "&";
+      first = false;
+      if (!pol) out += "!";
+      out += name(v);
+    }
+  }
+  return out;
+}
+
+ExprRef cover_to_expr(ExprPool& pool, const std::vector<Cube>& cover) {
+  ExprRef sum = pool.const0();
+  for (const Cube& c : cover) {
+    ExprRef prod = pool.const1();
+    for (const auto& [v, pol] : c) {
+      ExprRef lit = pool.var(v);
+      prod = pool.land(prod, pol ? lit : pool.lnot(lit));
+    }
+    sum = pool.lor(sum, prod);
+  }
+  return sum;
+}
+
+}  // namespace opiso

@@ -1,0 +1,41 @@
+#pragma once
+// Sum-of-products extraction.
+//
+// Used to print activation functions the way the paper writes them
+// (AS_a1 = S2·G1 + S1·!S0·G0) and as a second, order-independent
+// canonicalization in tests. Cubes are extracted as the 1-paths of the
+// BDD and then pairwise-merged (distance-1 merging) until closure, which
+// is enough to make the small control functions of RT datapaths minimal
+// in practice.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "boolfn/bdd.hpp"
+#include "boolfn/expr.hpp"
+
+namespace opiso {
+
+/// One product term: var -> required polarity. Empty cube = constant 1.
+using Cube = std::map<BoolVar, bool>;
+
+/// Cover of f (disjunction of cubes). Empty cover = constant 0.
+[[nodiscard]] std::vector<Cube> extract_cover(BddManager& mgr, BddRef f);
+
+/// Distance-1 merge loop: xy + x!y -> x; also removes duplicate and
+/// single-literal-subsumed cubes. Preserves the function.
+[[nodiscard]] std::vector<Cube> merge_cover(const std::vector<Cube>& cover);
+
+/// Literal count of a cover (sum of cube sizes).
+[[nodiscard]] std::size_t cover_literal_count(const std::vector<Cube>& cover);
+
+/// Render "S2&G1 | S1&!S0&G0" with a variable namer.
+[[nodiscard]] std::string cover_to_string(const std::vector<Cube>& cover,
+                                          const std::function<std::string(BoolVar)>& name);
+
+/// Build an Expr for a cover.
+[[nodiscard]] ExprRef cover_to_expr(ExprPool& pool, const std::vector<Cube>& cover);
+
+}  // namespace opiso

@@ -1,0 +1,61 @@
+#include "designs/designs.hpp"
+
+namespace opiso {
+
+// design1: datapath block whose first-stage candidates' activation
+// signal is the primary input "act" (paper Sec. 6: "the activation
+// signal of the isolation candidates in the first combinational stage
+// of the design could be controlled from a primary input").
+//
+//   Stage 1 (two independent combinational blocks):
+//     mul1 = x0 * x1 -> reg_p (EN = act)        AS(mul1) = act
+//     add1 = x2 + x3 -> reg_q (EN = act)        AS(add1) = act
+//   Stage 2 (one combinational block, four candidates):
+//     add2  = reg_p + reg_q
+//     sub2  = reg_p - reg_q
+//     mux_a = sel ? sub2 : add2                 (steering)
+//     add3  = mux_a + reg_q                     (chained: secondary savings)
+//     mux_b = g2 ? add3 : reg_p
+//     reg_out(mux_b, EN = g1) -> out0           AS(add3) = g2·g1
+//     mul2  = reg_q * reg_q
+//     mux_c = sel ? reg_p' : mul2               AS(mul2) = !sel·g2
+//     reg_out2(mux_c, EN = g2) -> out1
+Netlist make_design1(unsigned width) {
+  Netlist nl("design1");
+  const unsigned w2 = 2 * width;
+  const NetId x0 = nl.add_input("x0", width);
+  const NetId x1 = nl.add_input("x1", width);
+  const NetId x2 = nl.add_input("x2", width);
+  const NetId x3 = nl.add_input("x3", width);
+  const NetId act = nl.add_input("act", 1);
+  const NetId sel = nl.add_input("sel", 1);
+  const NetId g1 = nl.add_input("g1", 1);
+  const NetId g2 = nl.add_input("g2", 1);
+
+  // Stage 1 — candidates whose AS is directly a primary input.
+  const NetId mul1 = nl.add_binop(CellKind::Mul, "mul1", x0, x1);  // width 2w
+  const NetId add1 = nl.add_binop(CellKind::Add, "add1", x2, x3);  // width w
+  const NetId reg_p = nl.add_reg("reg_p", mul1, act);
+  const NetId reg_q = nl.add_reg("reg_q", add1, act);
+
+  // Stage 2 — internally steered candidates.
+  const NetId add2 = nl.add_binop(CellKind::Add, "add2", reg_p, reg_q);
+  const NetId sub2 = nl.add_binop(CellKind::Sub, "sub2", reg_p, reg_q);
+  const NetId mux_a = nl.add_mux2("mux_a", sel, add2, sub2);
+  const NetId add3 = nl.add_binop(CellKind::Add, "add3", mux_a, reg_q);
+  const NetId mux_b = nl.add_mux2("mux_b", g2, reg_p, add3);
+  const NetId reg_out = nl.add_reg("reg_out", mux_b, g1);
+
+  const NetId mul2 = nl.add_binop(CellKind::Mul, "mul2", reg_q, reg_q);
+  OPISO_REQUIRE(nl.net(mul2).width == w2 && nl.net(reg_p).width == w2,
+                "design1: width bookkeeping broken");
+  const NetId mux_c = nl.add_mux2("mux_c", sel, mul2, reg_p);
+  const NetId reg_out2 = nl.add_reg("reg_out2", mux_c, g2);
+
+  nl.add_output("out0", reg_out);
+  nl.add_output("out1", reg_out2);
+  nl.validate();
+  return nl;
+}
+
+}  // namespace opiso

@@ -1,0 +1,63 @@
+#pragma once
+// Benchmark designs.
+//
+// fig1:    the paper's running example (Fig. 1) — two adders behind a
+//          mux/register steering network; the derived activation
+//          functions must come out as AS_a0 = G0 and
+//          AS_a1 = S2·G1 + S1·!S0·G0 (Sec. 3).
+//
+// design1: stand-in for the paper's first industrial datapath block.
+//          Its defining property (Sec. 6): the activation signal of the
+//          first combinational stage's isolation candidates is a primary
+//          input ("act"), so testbenches can sweep the activation-signal
+//          statistics directly.
+//
+// design2: stand-in for the second block: a small FSM-sequenced
+//          multi-lane MAC datapath whose arithmetic modules are used
+//          only in a few states — the activation statistics are
+//          internal and cannot be controlled from the environment.
+//
+// parametric_datapath: synthetic generator (lanes × stages) for the
+//          O(|V|+|E|) scaling benchmark and for property tests.
+
+#include "netlist/netlist.hpp"
+
+namespace opiso {
+
+/// Names of the interesting nets in fig1 (for tests and examples).
+struct Fig1Nets {
+  NetId a1_out;  ///< output of adder a1 (isolation target of the paper)
+  NetId a0_out;  ///< output of adder a0
+  CellId a1;
+  CellId a0;
+};
+
+[[nodiscard]] Netlist make_fig1(unsigned width = 8);
+[[nodiscard]] Fig1Nets fig1_nets(const Netlist& nl);
+
+[[nodiscard]] Netlist make_design1(unsigned width = 8);
+[[nodiscard]] Netlist make_design2(unsigned width = 8, unsigned lanes = 2);
+
+/// Shape of the random fuzzing designs (property-based tests).
+struct RandomDesignConfig {
+  unsigned levels = 6;
+  unsigned cells_per_level = 5;
+  unsigned max_width = 8;
+  bool allow_latches = false;  ///< latch-free keeps formal checking applicable
+};
+
+/// Random layered datapath: arithmetic + muxes + comparators feeding
+/// selects + enabled registers, acyclic by construction, every leaf
+/// exported. Deterministic per seed.
+[[nodiscard]] Netlist make_random_datapath(std::uint64_t seed,
+                                           const RandomDesignConfig& config = {});
+
+struct ParametricConfig {
+  unsigned lanes = 4;       ///< independent datapath lanes
+  unsigned stages = 3;      ///< pipeline stages per lane
+  unsigned width = 8;       ///< data width
+  bool cross_links = true;  ///< adders chained inside a stage (secondary savings)
+};
+[[nodiscard]] Netlist make_parametric_datapath(const ParametricConfig& config);
+
+}  // namespace opiso

@@ -1,0 +1,53 @@
+#include "designs/designs.hpp"
+
+namespace opiso {
+
+// The circuit of Fig. 1, reconstructed so that the structural activation
+// derivation produces exactly the functions printed in Sec. 3:
+//
+//   a1 = A + B
+//   m2 = S2 ? a1 : D      -> r1 (EN = G1)   ... a1 observed iff S2·G1
+//   m0 = S0 ? C  : a1                        ... a1 passes iff !S0
+//   m1 = S1 ? m0 : E      -> a0.A            ... and iff S1
+//   a0 = m1 + C           -> r0 (EN = G0)   ... a0 observed iff G0
+//
+//   AS_a0 = G0
+//   AS_a1 = S2·G1 + S1·!S0·G0
+//   g^{a1}_{a0,A} = S1·!S0
+Netlist make_fig1(unsigned width) {
+  Netlist nl("fig1");
+  const NetId a = nl.add_input("A", width);
+  const NetId b = nl.add_input("B", width);
+  const NetId c = nl.add_input("C", width);
+  const NetId d = nl.add_input("D", width);
+  const NetId e = nl.add_input("E", width);
+  const NetId s0 = nl.add_input("S0", 1);
+  const NetId s1 = nl.add_input("S1", 1);
+  const NetId s2 = nl.add_input("S2", 1);
+  const NetId g0 = nl.add_input("G0", 1);
+  const NetId g1 = nl.add_input("G1", 1);
+
+  const NetId a1 = nl.add_binop(CellKind::Add, "a1", a, b);
+  const NetId m2 = nl.add_mux2("m2", s2, d, a1);   // S2 = 1 selects a1
+  const NetId r1 = nl.add_reg("r1", m2, g1);
+  const NetId m0 = nl.add_mux2("m0", s0, a1, c);   // S0 = 0 selects a1
+  const NetId m1 = nl.add_mux2("m1", s1, e, m0);   // S1 = 1 selects m0
+  const NetId a0 = nl.add_binop(CellKind::Add, "a0", m1, c);
+  const NetId r0 = nl.add_reg("r0", a0, g0);
+
+  nl.add_output("out0", r0);
+  nl.add_output("out1", r1);
+  nl.validate();
+  return nl;
+}
+
+Fig1Nets fig1_nets(const Netlist& nl) {
+  Fig1Nets f;
+  f.a1_out = nl.find_net("a1");
+  f.a0_out = nl.find_net("a0");
+  f.a1 = nl.net(f.a1_out).driver;
+  f.a0 = nl.net(f.a0_out).driver;
+  return f;
+}
+
+}  // namespace opiso

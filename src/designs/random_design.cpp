@@ -1,0 +1,106 @@
+#include "designs/designs.hpp"
+#include "support/rng.hpp"
+
+namespace opiso {
+
+// Random layered datapath generator for property-based testing: each
+// layer consumes nets from earlier layers (acyclic by construction),
+// mixing arithmetic modules, steering muxes, control gates, comparators
+// (data-dependent control!), enabled registers and occasional latches.
+// Every leaf net that ends up unread is exported as a primary output so
+// nothing is trivially dead.
+Netlist make_random_datapath(std::uint64_t seed, const RandomDesignConfig& cfg) {
+  OPISO_REQUIRE(cfg.levels >= 1 && cfg.cells_per_level >= 1, "random design: bad shape");
+  OPISO_REQUIRE(cfg.max_width >= 2 && cfg.max_width <= 12, "random design: bad width");
+  Rng rng(seed);
+  Netlist nl("rand_" + std::to_string(seed));
+
+  std::vector<NetId> data;   // multi-bit nets
+  std::vector<NetId> ctrl;   // 1-bit nets
+  int name_counter = 0;
+  auto name = [&](const char* base) {
+    return std::string(base) + std::to_string(name_counter++);
+  };
+
+  // Primary inputs: a few data words and control bits.
+  for (unsigned i = 0; i < 3; ++i) {
+    data.push_back(
+        nl.add_input(name("in"), 2 + static_cast<unsigned>(rng.next_range(0, cfg.max_width - 2))));
+  }
+  for (unsigned i = 0; i < 3; ++i) ctrl.push_back(nl.add_input(name("c"), 1));
+  ctrl.push_back(nl.add_const(name("k"), 1, 1));
+
+  auto pick_data = [&]() { return data[rng.next_range(0, data.size() - 1)]; };
+  auto pick_ctrl = [&]() { return ctrl[rng.next_range(0, ctrl.size() - 1)]; };
+  // Two operands of identical width (required by some shapes): widen by
+  // picking any two and letting max-width inference handle it.
+
+  for (unsigned level = 0; level < cfg.levels; ++level) {
+    for (unsigned c = 0; c < cfg.cells_per_level; ++c) {
+      switch (rng.next_range(0, 9)) {
+        case 0:
+        case 1: {  // arithmetic module
+          const CellKind kind =
+              std::array{CellKind::Add, CellKind::Sub, CellKind::Mul}[rng.next_range(0, 2)];
+          NetId a = pick_data();
+          NetId b = pick_data();
+          if (kind == CellKind::Mul &&
+              nl.net(a).width + nl.net(b).width > cfg.max_width + 4) {
+            break;  // keep multiplier growth bounded
+          }
+          data.push_back(nl.add_binop(kind, name("ar"), a, b));
+          break;
+        }
+        case 2:
+        case 3: {  // steering mux
+          NetId a = pick_data();
+          NetId b = pick_data();
+          data.push_back(nl.add_mux2(name("mx"), pick_ctrl(), a, b));
+          break;
+        }
+        case 4: {  // comparator: data-dependent control
+          ctrl.push_back(nl.add_binop(rng.next_bool(0.5) ? CellKind::Lt : CellKind::Eq,
+                                      name("cmp"), pick_data(), pick_data()));
+          break;
+        }
+        case 5: {  // control gate
+          const CellKind kind = std::array{CellKind::And, CellKind::Or, CellKind::Xor,
+                                           CellKind::Nand}[rng.next_range(0, 3)];
+          ctrl.push_back(nl.add_binop(kind, name("cg"), pick_ctrl(), pick_ctrl()));
+          break;
+        }
+        case 6: {  // inverter on control
+          ctrl.push_back(nl.add_unop(CellKind::Not, name("cn"), pick_ctrl()));
+          break;
+        }
+        case 7:
+        case 8: {  // enabled register (sequential boundary)
+          data.push_back(nl.add_reg(name("r"), pick_data(), pick_ctrl()));
+          break;
+        }
+        default: {  // occasional latch or shift
+          if (cfg.allow_latches && rng.next_bool(0.3)) {
+            data.push_back(nl.add_latch(name("lt"), pick_data(), pick_ctrl()));
+          } else {
+            data.push_back(nl.add_shift(rng.next_bool(0.5) ? CellKind::Shl : CellKind::Shr,
+                                        name("sh"), pick_data(),
+                                        static_cast<unsigned>(rng.next_range(0, 2))));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Export every unread net so all logic is observable somewhere.
+  int po = 0;
+  for (NetId net : nl.net_ids()) {
+    if (nl.net(net).fanouts.empty()) {
+      nl.add_output("out" + std::to_string(po++), net);
+    }
+  }
+  nl.validate();
+  return nl;
+}
+
+}  // namespace opiso

@@ -1,0 +1,400 @@
+#include "frontend/rtl_parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace opiso {
+
+namespace {
+
+// ----------------------------------------------------------------- lexer
+enum class Tok : std::uint8_t {
+  Ident, Number, Colon, Assign, Question, Or, Xor, And, Not, Bang, LParen,
+  RParen, Plus, Minus, Star, Shl, Shr, Lt, EqEq, End,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  std::uint64_t number = 0;
+};
+
+class Lexer {
+ public:
+  Lexer(std::string_view line, int lineno) : line_(line), lineno_(lineno) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return current_; }
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("rtl line " + std::to_string(lineno_) + ": " + msg);
+  }
+  Token expect(Tok kind, const char* what) {
+    if (current_.kind != kind) fail(std::string("expected ") + what);
+    return take();
+  }
+
+ private:
+  void advance() {
+    while (pos_ < line_.size() && std::isspace(static_cast<unsigned char>(line_[pos_]))) ++pos_;
+    if (pos_ >= line_.size() || line_[pos_] == '#') {
+      current_ = Token{Tok::End, "", 0};
+      return;
+    }
+    const char c = line_[pos_];
+    auto two = [&](char a, char b) {
+      return c == a && pos_ + 1 < line_.size() && line_[pos_ + 1] == b;
+    };
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < line_.size() &&
+             (std::isalnum(static_cast<unsigned char>(line_[pos_])) || line_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_ = Token{Tok::Ident, std::string(line_.substr(start, pos_ - start)), 0};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < line_.size() && std::isalnum(static_cast<unsigned char>(line_[pos_]))) ++pos_;
+      const std::string text(line_.substr(start, pos_ - start));
+      try {
+        current_ = Token{Tok::Number, text, std::stoull(text, nullptr, 0)};
+      } catch (const std::exception&) {
+        fail("bad number literal '" + text + "'");
+      }
+      return;
+    }
+    if (two('<', '<')) { pos_ += 2; current_ = {Tok::Shl, "<<", 0}; return; }
+    if (two('>', '>')) { pos_ += 2; current_ = {Tok::Shr, ">>", 0}; return; }
+    if (two('=', '=')) { pos_ += 2; current_ = {Tok::EqEq, "==", 0}; return; }
+    ++pos_;
+    switch (c) {
+      case ':': current_ = {Tok::Colon, ":", 0}; return;
+      case '=': current_ = {Tok::Assign, "=", 0}; return;
+      case '?': current_ = {Tok::Question, "?", 0}; return;
+      case '|': current_ = {Tok::Or, "|", 0}; return;
+      case '^': current_ = {Tok::Xor, "^", 0}; return;
+      case '&': current_ = {Tok::And, "&", 0}; return;
+      case '~': current_ = {Tok::Not, "~", 0}; return;
+      case '!': current_ = {Tok::Bang, "!", 0}; return;
+      case '(': current_ = {Tok::LParen, "(", 0}; return;
+      case ')': current_ = {Tok::RParen, ")", 0}; return;
+      case '+': current_ = {Tok::Plus, "+", 0}; return;
+      case '-': current_ = {Tok::Minus, "-", 0}; return;
+      case '*': current_ = {Tok::Star, "*", 0}; return;
+      case '<': current_ = {Tok::Lt, "<", 0}; return;
+      default: fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view line_;
+  int lineno_;
+  std::size_t pos_ = 0;
+  Token current_{Tok::End, "", 0};
+};
+
+// ------------------------------------------------------------ elaborator
+struct Elaborator {
+  Netlist nl;
+  std::unordered_map<std::string, NetId> symbols;
+  NetId const_true;
+  int temp_counter = 0;
+
+  NetId lookup(Lexer& lx, const std::string& name) {
+    auto it = symbols.find(name);
+    if (it == symbols.end()) lx.fail("unknown signal '" + name + "'");
+    return it->second;
+  }
+
+  void define(Lexer& lx, const std::string& name, NetId net) {
+    if (!symbols.emplace(name, net).second) lx.fail("redefinition of '" + name + "'");
+  }
+
+  NetId ensure_true() {
+    if (!const_true.valid()) const_true = nl.add_const("__true", 1, 1);
+    return const_true;
+  }
+
+  std::string temp_name() { return nl.fresh_net_name("__t" + std::to_string(temp_counter++)); }
+
+  // Expression parsing, loosest binding first. `hint` names the net the
+  // top-level operation produces (empty -> generated temp name).
+  NetId parse_expr(Lexer& lx, const std::string& hint = "") { return parse_ternary(lx, hint); }
+
+  NetId parse_ternary(Lexer& lx, const std::string& hint) {
+    NetId cond = parse_or(lx, "");
+    if (lx.peek().kind != Tok::Question) {
+      return maybe_name(lx, cond, hint);
+    }
+    lx.take();
+    NetId then_net = parse_or(lx, "");
+    lx.expect(Tok::Colon, "':' in ternary");
+    NetId else_net = parse_ternary(lx, "");
+    // Mux2 semantics: S = 1 selects the B leg, so `c ? a : b` puts the
+    // then-value on B.
+    return nl.add_mux2(hint.empty() ? temp_name() : hint, cond, else_net, then_net);
+  }
+
+  NetId binop_chain(Lexer& lx, const std::string& hint, NetId (Elaborator::*next)(Lexer&),
+                    const std::vector<std::pair<Tok, CellKind>>& ops) {
+    NetId lhs = (this->*next)(lx);
+    while (true) {
+      CellKind kind{};
+      bool matched = false;
+      for (const auto& [tok, k] : ops) {
+        if (lx.peek().kind == tok) {
+          kind = k;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+      lx.take();
+      NetId rhs = (this->*next)(lx);
+      const bool last = [&] {
+        for (const auto& [tok, k] : ops) {
+          (void)k;
+          if (lx.peek().kind == tok) return false;
+        }
+        return true;
+      }();
+      const std::string name = (last && !hint.empty()) ? hint : temp_name();
+      lhs = nl.add_binop(kind, name, lhs, rhs);
+    }
+  }
+
+  NetId parse_or(Lexer& lx, const std::string& hint) {
+    return binop_chain(lx, hint, &Elaborator::parse_xor_entry, {{Tok::Or, CellKind::Or}});
+  }
+  NetId parse_xor_entry(Lexer& lx) { return parse_xor(lx, ""); }
+  NetId parse_xor(Lexer& lx, const std::string& hint) {
+    return binop_chain(lx, hint, &Elaborator::parse_and_entry, {{Tok::Xor, CellKind::Xor}});
+  }
+  NetId parse_and_entry(Lexer& lx) { return parse_and(lx, ""); }
+  NetId parse_and(Lexer& lx, const std::string& hint) {
+    return binop_chain(lx, hint, &Elaborator::parse_cmp_entry, {{Tok::And, CellKind::And}});
+  }
+  NetId parse_cmp_entry(Lexer& lx) { return parse_cmp(lx, ""); }
+  NetId parse_cmp(Lexer& lx, const std::string& hint) {
+    return binop_chain(lx, hint, &Elaborator::parse_shift_entry,
+                       {{Tok::EqEq, CellKind::Eq}, {Tok::Lt, CellKind::Lt}});
+  }
+  NetId parse_shift_entry(Lexer& lx) { return parse_shift(lx, ""); }
+
+  NetId parse_shift(Lexer& lx, const std::string& hint) {
+    NetId lhs = parse_add(lx, "");
+    while (lx.peek().kind == Tok::Shl || lx.peek().kind == Tok::Shr) {
+      const CellKind kind = lx.take().kind == Tok::Shl ? CellKind::Shl : CellKind::Shr;
+      const Token amount = lx.expect(Tok::Number, "constant shift amount");
+      const bool last = lx.peek().kind != Tok::Shl && lx.peek().kind != Tok::Shr;
+      lhs = nl.add_shift(kind, (last && !hint.empty()) ? hint : temp_name(), lhs,
+                         static_cast<unsigned>(amount.number));
+    }
+    return lhs;
+  }
+
+  NetId parse_add(Lexer& lx, const std::string& hint) {
+    return binop_chain(lx, hint, &Elaborator::parse_mul_entry,
+                       {{Tok::Plus, CellKind::Add}, {Tok::Minus, CellKind::Sub}});
+  }
+  NetId parse_mul_entry(Lexer& lx) { return parse_mul(lx, ""); }
+  NetId parse_mul(Lexer& lx, const std::string& hint) {
+    return binop_chain(lx, hint, &Elaborator::parse_unary_entry, {{Tok::Star, CellKind::Mul}});
+  }
+  NetId parse_unary_entry(Lexer& lx) { return parse_unary(lx, ""); }
+
+  NetId parse_unary(Lexer& lx, const std::string& hint) {
+    if (lx.peek().kind == Tok::Not || lx.peek().kind == Tok::Bang) {
+      lx.take();
+      NetId inner = parse_unary(lx, "");
+      return nl.add_unop(CellKind::Not, hint.empty() ? temp_name() : hint, inner);
+    }
+    return parse_primary(lx, hint);
+  }
+
+  NetId parse_primary(Lexer& lx, const std::string& hint) {
+    const Token t = lx.take();
+    switch (t.kind) {
+      case Tok::Ident:
+        return lookup(lx, t.text);
+      case Tok::Number: {
+        // Sized literal: value:width.
+        if (lx.peek().kind != Tok::Colon) lx.fail("literal needs a width: value:width");
+        lx.take();
+        const Token w = lx.expect(Tok::Number, "literal width");
+        return nl.add_const(hint.empty() ? temp_name() : hint, t.number,
+                            static_cast<unsigned>(w.number));
+      }
+      case Tok::LParen: {
+        NetId inner = parse_expr(lx, hint);
+        lx.expect(Tok::RParen, "')'");
+        return inner;
+      }
+      default:
+        lx.fail("expected identifier, literal or '('");
+    }
+  }
+
+  /// Give `net` the name `hint`: generated temporaries are renamed in
+  /// place (their driving cell too); pre-existing signals (`wire x = y`)
+  /// get a buffer so both names stay addressable.
+  NetId maybe_name(Lexer& lx, NetId net, const std::string& hint) {
+    (void)lx;
+    if (hint.empty()) return net;
+    if (nl.net(net).name.rfind("__t", 0) == 0) {
+      const CellId drv = nl.net(net).driver;
+      nl.rename_net(net, hint);
+      nl.rename_cell(drv, nl.fresh_cell_name(hint));
+      return net;
+    }
+    return nl.add_unop(CellKind::Buf, hint, net);
+  }
+};
+
+struct Statement {
+  int lineno;
+  std::string text;
+};
+
+std::optional<unsigned> parse_width_suffix(Lexer& lx) {
+  if (lx.peek().kind != Tok::Colon) return std::nullopt;
+  lx.take();
+  const Token w = lx.expect(Tok::Number, "width");
+  return static_cast<unsigned>(w.number);
+}
+
+}  // namespace
+
+Netlist parse_rtl(const std::string& text) {
+  // Split into statements (one per line; '#' comments).
+  std::vector<Statement> stmts;
+  {
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+      ++lineno;
+      if (auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+      bool blank = true;
+      for (char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+      }
+      if (!blank) stmts.push_back(Statement{lineno, line});
+    }
+  }
+
+  Elaborator el;
+
+  // ---- pass 1: pre-declare registers and latches so any statement —
+  // including their own — may reference them (feedback), and pick up
+  // the design name.
+  struct SeqDecl {
+    CellId cell;
+    Statement stmt;
+  };
+  std::vector<SeqDecl> seq;
+  for (const Statement& s : stmts) {
+    Lexer lx(s.text, s.lineno);
+    if (lx.peek().kind != Tok::Ident) lx.fail("expected a statement keyword");
+    const std::string head = lx.peek().text;
+    if (head == "design") {
+      lx.take();
+      el.nl.set_name(lx.expect(Tok::Ident, "design name").text);
+    } else if (head == "reg" || head == "latch") {
+      lx.take();
+      const Token name = lx.expect(Tok::Ident, "register name");
+      const auto width = parse_width_suffix(lx);
+      if (!width) lx.fail("'" + name.text + "': reg/latch needs an explicit width");
+      const NetId q = el.nl.add_net(name.text, *width);
+      const NetId en = el.ensure_true();
+      // D self-loops on Q until pass 2 elaborates the expression.
+      const CellId cell = el.nl.add_cell(head == "reg" ? CellKind::Reg : CellKind::Latch,
+                                         (head == "reg" ? "r:" : "l:") + name.text, {q, en}, q);
+      el.define(lx, name.text, q);
+      seq.push_back(SeqDecl{cell, s});
+    }
+  }
+
+  // ---- pass 2: elaborate statements in source order. Netlist-level
+  // violations (duplicate names, width rules) surface as ParseErrors
+  // carrying the offending line.
+  std::size_t seq_index = 0;
+  for (const Statement& s : stmts) {
+    try {
+    Lexer lx(s.text, s.lineno);
+    const std::string head = lx.expect(Tok::Ident, "statement keyword").text;
+    if (head == "design") continue;
+    if (head == "input") {
+      const Token name = lx.expect(Tok::Ident, "input name");
+      const unsigned width = parse_width_suffix(lx).value_or(1);
+      el.define(lx, name.text, el.nl.add_input(name.text, width));
+    } else if (head == "const") {
+      const Token name = lx.expect(Tok::Ident, "const name");
+      const auto width = parse_width_suffix(lx);
+      if (!width) lx.fail("const needs a width");
+      lx.expect(Tok::Assign, "'='");
+      const Token value = lx.expect(Tok::Number, "constant value");
+      el.define(lx, name.text, el.nl.add_const(name.text, value.number, *width));
+    } else if (head == "wire") {
+      const Token name = lx.expect(Tok::Ident, "wire name");
+      const auto width = parse_width_suffix(lx);
+      lx.expect(Tok::Assign, "'='");
+      const NetId net = el.parse_expr(lx, name.text);
+      if (width && el.nl.net(net).width != *width) {
+        lx.fail("wire '" + name.text + "' declared :" + std::to_string(*width) +
+                " but expression has width " + std::to_string(el.nl.net(net).width));
+      }
+      el.define(lx, name.text, net);
+    } else if (head == "reg" || head == "latch") {
+      const SeqDecl& decl = seq.at(seq_index++);
+      lx.expect(Tok::Ident, "register name");
+      (void)parse_width_suffix(lx);
+      lx.expect(Tok::Assign, "'='");
+      const NetId d = el.parse_expr(lx, "");
+      if (el.nl.net(d).width != el.nl.cell(decl.cell).width) {
+        lx.fail("reg/latch D width mismatch");
+      }
+      el.nl.reconnect_input(decl.cell, 0, d);
+      if (lx.peek().kind == Tok::Ident && lx.peek().text == "when") {
+        lx.take();
+        const NetId en = el.parse_expr(lx, "");
+        if (el.nl.net(en).width != 1) lx.fail("'when' expression must be 1 bit wide");
+        el.nl.reconnect_input(decl.cell, 1, en);
+      }
+    } else if (head == "output") {
+      const Token name = lx.expect(Tok::Ident, "output name");
+      lx.expect(Tok::Assign, "'='");
+      const NetId net = el.parse_expr(lx, "");
+      el.nl.add_output(name.text, net);
+    } else {
+      lx.fail("unknown statement '" + head + "'");
+    }
+    if (lx.peek().kind != Tok::End) lx.fail("trailing tokens after statement");
+    } catch (const ParseError&) {
+      throw;
+    } catch (const Error& e) {
+      throw ParseError("rtl line " + std::to_string(s.lineno) + ": " + e.what());
+    }
+  }
+
+  el.nl.validate();
+  return el.nl;
+}
+
+Netlist parse_rtl_file(const std::string& path) {
+  std::ifstream is(path);
+  OPISO_REQUIRE(is.good(), "cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse_rtl(buf.str());
+}
+
+}  // namespace opiso

@@ -1,0 +1,44 @@
+#pragma once
+// RTL description language frontend.
+//
+// A compact textual RTL language that elaborates to the word-level
+// netlist, so designs can be written the way the paper draws them
+// instead of through builder calls:
+//
+//   # comment
+//   design mac
+//   input a:8            # ':width' defaults to 1
+//   input b:8
+//   input en
+//   const k:8 = 42
+//   wire p = a * b               # widths inferred per operator
+//   reg acc:16 = acc + p when en # registers may self/forward-reference
+//   wire sel = acc < k           # comparators produce 1-bit wires
+//   wire v = sel ? acc : p       # 2:1 multiplexor
+//   output out = acc
+//
+// Statements: design/input/const/wire/reg/latch/output.
+// Expressions (loosest to tightest): `c ? a : b`, `|`, `^`, `&`,
+// `== <`, `<< >>` (constant amounts), `+ -`, `*`, unary `~ !`, parens,
+// identifiers, sized literals `value:width`.
+//
+// Scoping rules: wires must be defined before use (source order is
+// elaboration order); registers and latches may be referenced anywhere
+// — including by their own defining expression (accumulators) — but
+// must carry an explicit width. `when <expr>` gates the enable; absent,
+// the register loads every cycle.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace opiso {
+
+/// Elaborate RTL text to a netlist. Throws ParseError (with line
+/// numbers) on syntax errors and NetlistError on elaboration errors.
+[[nodiscard]] Netlist parse_rtl(const std::string& text);
+
+/// Load from a file.
+[[nodiscard]] Netlist parse_rtl_file(const std::string& path);
+
+}  // namespace opiso

@@ -1,0 +1,66 @@
+#pragma once
+// Control-FSM extraction and reachability analysis.
+//
+// Sec. 3 names two ways to reason about control signals beyond pure
+// structure: fanin analysis (see ActivationOptions::register_lookahead)
+// and "analyzing the corresponding FSM". This module implements the
+// FSM route: it extracts the design's *control slice* — the closure of
+// 1-bit nets computable from 1-bit registers, 1-bit primary inputs and
+// constants — enumerates the reachable control states by explicit
+// breadth-first search from the all-zero reset state, and exposes the
+// set of control-net valuations that can actually occur.
+//
+// Payoff: valuations that never occur (e.g. two one-hot phase decodes
+// both high) are don't-cares for the activation logic. minimize_with_
+// reachability() shrinks a derived activation function against that
+// care set with the Coudert–Madre restrict operator; the result agrees
+// with the original on every reachable valuation, so the isolated
+// design remains observationally equivalent, with cheaper logic.
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "boolfn/bdd.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/activity.hpp"
+
+namespace opiso {
+
+struct ControlSpace {
+  /// 1-bit registers whose next-state cone lies in the control slice.
+  std::vector<CellId> state_regs;
+  /// 1-bit primary-input nets the control slice reads.
+  std::vector<NetId> input_nets;
+  /// Every 1-bit net evaluable inside the control slice.
+  std::vector<NetId> slice_nets;
+  /// Reachable states, encoded as bit i = value of state_regs[i].
+  std::unordered_set<std::uint64_t> reachable;
+  /// False if the state/input space exceeded the exploration budget —
+  /// all queries then fall back to "everything reachable".
+  bool tractable = false;
+
+  [[nodiscard]] bool in_slice(NetId net) const;
+};
+
+/// Extract the control slice and enumerate reachable states.
+[[nodiscard]] ControlSpace explore_control_space(const Netlist& nl,
+                                                 unsigned max_state_bits = 20,
+                                                 unsigned max_input_bits = 12);
+
+/// Characteristic function (over NetVarMap variables) of the joint
+/// valuations the given nets can assume across all reachable states and
+/// input combinations. Nets must lie in the control slice.
+[[nodiscard]] BddRef reachable_care_set(const ControlSpace& space, const Netlist& nl,
+                                        BddManager& mgr, NetVarMap& vars,
+                                        const std::vector<NetId>& nets);
+
+/// Minimize `f` (an activation function over control nets) against the
+/// reachability care set: the result equals f on every valuation that
+/// can occur and has at most the original literal count. Returns `f`
+/// unchanged when the space is intractable or f's support leaves the
+/// control slice.
+[[nodiscard]] ExprRef minimize_with_reachability(const ControlSpace& space, const Netlist& nl,
+                                                 ExprPool& pool, NetVarMap& vars, ExprRef f);
+
+}  // namespace opiso

@@ -1,0 +1,143 @@
+#pragma once
+// Automated RTL operand isolation — Sec. 5 / Algorithm 1.
+//
+// Flow:
+//   1. Partition the RT structure into combinational blocks.
+//   2. Identify isolation candidates; estimate each candidate's slack
+//      after isolation and reject those violating the slack threshold.
+//   3. Iterate: simulate (power + signal statistics), evaluate the cost
+//      h(c) = ωp·rP(c) − ωa·rA(c) for every remaining candidate, isolate
+//      the best candidate of each block if h ≥ h_min, remove it from the
+//      pool, and repeat until no block isolates anything.
+//
+// Isolating at most one candidate per block per iteration and
+// re-simulating in between is what makes the Eq.-2 toggle-rate rescaling
+// valid (Sec. 4.2); it also measures, rather than models, the
+// inter-candidate dependencies inside a block.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isolation/candidates.hpp"
+#include "isolation/savings.hpp"
+#include "isolation/transform.hpp"
+#include "power/area_model.hpp"
+#include "power/estimator.hpp"
+#include "timing/sta.hpp"
+
+namespace opiso {
+
+struct IsolationOptions {
+  IsolationStyle style = IsolationStyle::And;
+  /// Evaluate all three bank styles per candidate and pick the one with
+  /// the best cost h (extension of Sec. 5.2's global style choice).
+  bool choose_style_per_candidate = false;
+  /// Canonically simplify activation functions (BDD round trip) before
+  /// synthesizing them — Sec. 3's "optimized version thereof".
+  bool simplify_activation = true;
+  /// Minimize activation logic against FSM-reachability don't-cares
+  /// (control-state valuations that can never occur) — the "analyzing
+  /// the corresponding FSM" route Sec. 3 mentions. Costs one explicit
+  /// state-space exploration per iteration; skipped automatically when
+  /// the control space exceeds its budget.
+  bool use_reachability_dont_cares = false;
+  PrimaryModel primary_model = PrimaryModel::Refined;
+
+  double omega_p = 1.0;  ///< weight of relative power savings
+  double omega_a = 0.2;  ///< weight of relative area increase
+  double h_min = 0.0;    ///< minimum cost-function value to isolate
+
+  /// Candidates whose estimated post-isolation slack falls below this
+  /// are rejected up front (Algorithm 1 lines 5–9).
+  double slack_threshold_ns = 0.0;
+
+  std::uint64_t sim_cycles = 4096;
+  /// Cycles simulated (and discarded) before statistics collection, so
+  /// the reset transient does not skew the measured probabilities.
+  std::uint64_t warmup_cycles = 32;
+  int max_iterations = 32;
+  bool verbose = false;
+
+  CandidateConfig candidates{};
+  ActivationOptions activation{};  ///< e.g. register lookahead (Sec. 3)
+  DelayModel delay{};
+  MacroPowerModel power{};
+  AreaModel area{};
+};
+
+/// Per-candidate evaluation snapshot from one iteration.
+struct CandidateEvaluation {
+  CellId cell;
+  std::string cell_name;
+  int block = -1;
+  IsolationStyle style = IsolationStyle::And;  ///< style the costs refer to
+  std::string activation_str;
+  double pr_redundant = 0.0;
+  double primary_mw = 0.0;
+  double secondary_mw = 0.0;
+  double overhead_mw = 0.0;
+  double r_power = 0.0;  ///< relative net power change rP
+  double r_area = 0.0;   ///< relative area increase rA
+  double h = 0.0;        ///< cost function value
+  double slack_before_ns = 0.0;
+  double est_slack_after_ns = 0.0;
+  bool slack_vetoed = false;
+  bool legal = true;
+  bool isolated_now = false;
+};
+
+struct IterationLog {
+  int iteration = 0;
+  double total_power_mw = 0.0;
+  std::vector<CandidateEvaluation> evaluations;
+  std::size_t num_isolated = 0;
+};
+
+struct IsolationResult {
+  Netlist netlist;  ///< transformed copy of the input design
+  std::vector<IsolationRecord> records;
+  std::vector<IterationLog> iterations;
+
+  double power_before_mw = 0.0;
+  double power_after_mw = 0.0;
+  double area_before_um2 = 0.0;
+  double area_after_um2 = 0.0;
+  double slack_before_ns = 0.0;
+  double slack_after_ns = 0.0;
+
+  [[nodiscard]] double power_reduction_pct() const {
+    return power_before_mw > 0 ? 100.0 * (power_before_mw - power_after_mw) / power_before_mw
+                               : 0.0;
+  }
+  [[nodiscard]] double area_increase_pct() const {
+    return area_before_um2 > 0 ? 100.0 * (area_after_um2 - area_before_um2) / area_before_um2
+                               : 0.0;
+  }
+  [[nodiscard]] double slack_reduction_pct() const {
+    return slack_before_ns != 0.0
+               ? 100.0 * (slack_before_ns - slack_after_ns) / slack_before_ns
+               : 0.0;
+  }
+};
+
+/// Produces a fresh, identically distributed stimulus for each
+/// simulation round (each iteration re-simulates the transformed design).
+using StimulusFactory = std::function<std::unique_ptr<Stimulus>()>;
+
+/// Run the full Algorithm-1 flow on a copy of `design`.
+[[nodiscard]] IsolationResult run_operand_isolation(const Netlist& design,
+                                                    const StimulusFactory& stimuli,
+                                                    const IsolationOptions& options = {});
+
+/// Cheap pre-commit estimate of the candidate's slack after isolation:
+/// bank delay on the data paths plus the activation-logic path merging
+/// in at the bank (Sec. 5.1's three timing effects).
+[[nodiscard]] double estimate_slack_after_isolation(const Netlist& nl, const DelayModel& dm,
+                                                    const TimingReport& timing,
+                                                    const ExprPool& pool, const NetVarMap& vars,
+                                                    CellId cell, ExprRef activation,
+                                                    IsolationStyle style);
+
+}  // namespace opiso

@@ -1,0 +1,143 @@
+#include "isolation/muxfn.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "netlist/traversal.hpp"
+
+namespace opiso {
+
+namespace {
+
+bool is_structural_source(CellKind kind) {
+  return kind == CellKind::Reg || kind == CellKind::PrimaryInput || kind == CellKind::Constant;
+}
+
+/// Condition multiplied onto a path that enters `cell` at `port` and
+/// leaves through its output. Returns invalid ExprRef for pins whose
+/// induced toggling the model neglects (mux selects, latch enables —
+/// footnote 1 of the paper).
+ExprRef edge_condition(const Netlist& nl, ExprPool& pool, NetVarMap& vars, const Cell& cell,
+                       int port) {
+  switch (cell.kind) {
+    case CellKind::Mux2:
+      if (port == 0) return ExprRef::invalid();  // select-induced toggles neglected
+      if (port == 1) return pool.lnot(pool.var(vars.var_of(nl, cell.ins[0])));
+      return pool.var(vars.var_of(nl, cell.ins[0]));
+    case CellKind::Latch:
+    case CellKind::IsoAnd:
+    case CellKind::IsoOr:
+    case CellKind::IsoLatch:
+      if (port == 1) return ExprRef::invalid();  // enable-induced toggles neglected
+      return pool.var(vars.var_of(nl, cell.ins[1]));
+    default:
+      return pool.const1();
+  }
+}
+
+}  // namespace
+
+FaninNetwork derive_fanin_network(const Netlist& nl, ExprPool& pool, NetVarMap& vars,
+                                  CellId cell, int port,
+                                  const CandidatePredicate& is_candidate) {
+  FaninNetwork fn;
+  const NetId pin_net = nl.cell(cell).ins.at(static_cast<size_t>(port));
+
+  // cond[n] = condition under which a toggle on net n propagates to the
+  // pin through the steering network (invalid = unreached).
+  std::vector<ExprRef> cond(nl.num_nets(), ExprRef::invalid());
+  cond[pin_net.value()] = pool.const1();
+
+  // Position of each cell in topological order, to process the fanin
+  // cone strictly from the pin backwards.
+  const std::vector<CellId> order = topological_order(nl);
+  std::vector<std::size_t> pos(nl.num_cells(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i].value()] = i;
+
+  // Collect the cone of nets that can reach the pin (stop at candidates
+  // and structural sources), then process drivers in reverse topo order.
+  std::vector<NetId> cone{pin_net};
+  std::vector<bool> seen(nl.num_nets(), false);
+  seen[pin_net.value()] = true;
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    const CellId drv = nl.net(cone[i]).driver;
+    const Cell& d = nl.cell(drv);
+    if (is_candidate(drv) || is_structural_source(d.kind)) continue;
+    for (int p = 0; p < static_cast<int>(d.ins.size()); ++p) {
+      if (!edge_condition(nl, pool, vars, d, p).valid()) continue;
+      NetId in = d.ins[static_cast<size_t>(p)];
+      if (!seen[in.value()]) {
+        seen[in.value()] = true;
+        cone.push_back(in);
+      }
+    }
+  }
+  std::sort(cone.begin(), cone.end(), [&](NetId a, NetId b) {
+    return pos[nl.net(a).driver.value()] > pos[nl.net(b).driver.value()];
+  });
+
+  std::map<CellId, ExprRef> found;
+  for (NetId n : cone) {
+    if (!cond[n.value()].valid()) continue;  // unreachable under any condition
+    const CellId drv = nl.net(n).driver;
+    const Cell& d = nl.cell(drv);
+    if (is_candidate(drv)) {
+      auto [it, inserted] = found.emplace(drv, cond[n.value()]);
+      if (!inserted) it->second = pool.lor(it->second, cond[n.value()]);
+      continue;
+    }
+    if (is_structural_source(d.kind)) {
+      if (d.kind != CellKind::Constant) fn.has_noncandidate_source = true;
+      continue;
+    }
+    for (int p = 0; p < static_cast<int>(d.ins.size()); ++p) {
+      ExprRef edge = edge_condition(nl, pool, vars, d, p);
+      if (!edge.valid()) continue;
+      NetId in = d.ins[static_cast<size_t>(p)];
+      ExprRef path = pool.land(cond[n.value()], edge);
+      cond[in.value()] = cond[in.value()].valid() ? pool.lor(cond[in.value()], path) : path;
+    }
+  }
+  for (const auto& [cand, g] : found) fn.candidates.push_back(ConnectedCandidate{cand, g});
+  return fn;
+}
+
+std::vector<FanoutConnection> derive_fanout_candidates(const Netlist& nl, ExprPool& pool,
+                                                       NetVarMap& vars, CellId cell,
+                                                       const CandidatePredicate& is_candidate) {
+  std::vector<FanoutConnection> result;
+  const Cell& c = nl.cell(cell);
+  OPISO_REQUIRE(c.out.valid(), "derive_fanout_candidates: cell has no output");
+
+  const std::vector<CellId> order = topological_order(nl);
+  std::vector<ExprRef> cond(nl.num_nets(), ExprRef::invalid());
+  cond[c.out.value()] = pool.const1();
+
+  for (CellId id : order) {
+    const Cell& y = nl.cell(id);
+    if (is_structural_source(y.kind) || y.kind == CellKind::PrimaryOutput) continue;
+    if (id == cell) continue;
+    // Gather conditions arriving at y's inputs; candidates terminate
+    // paths, everything else composes into y's output condition.
+    ExprRef out_cond = ExprRef::invalid();
+    for (int p = 0; p < static_cast<int>(y.ins.size()); ++p) {
+      const NetId in = y.ins[static_cast<size_t>(p)];
+      if (!cond[in.value()].valid()) continue;
+      if (is_candidate(id)) {
+        result.push_back(FanoutConnection{id, p, cond[in.value()]});
+        continue;
+      }
+      ExprRef edge = edge_condition(nl, pool, vars, y, p);
+      if (!edge.valid()) continue;
+      ExprRef path = pool.land(cond[in.value()], edge);
+      out_cond = out_cond.valid() ? pool.lor(out_cond, path) : path;
+    }
+    if (out_cond.valid() && y.out.valid()) {
+      cond[y.out.value()] =
+          cond[y.out.value()].valid() ? pool.lor(cond[y.out.value()], out_cond) : out_cond;
+    }
+  }
+  return result;
+}
+
+}  // namespace opiso

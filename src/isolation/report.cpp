@@ -1,0 +1,55 @@
+#include "isolation/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace opiso {
+
+std::string format_isolation_summary(const IsolationResult& result) {
+  std::ostringstream os;
+  os << std::fixed;
+  os << "operand isolation summary for '" << result.netlist.name() << "'\n";
+  os << "  power: " << std::setprecision(3) << result.power_before_mw << " mW -> "
+     << result.power_after_mw << " mW (" << std::setprecision(2)
+     << -result.power_reduction_pct() << "%)\n";
+  os << "  area:  " << std::setprecision(0) << result.area_before_um2 << " um^2 -> "
+     << result.area_after_um2 << " um^2 (+" << std::setprecision(2)
+     << result.area_increase_pct() << "%)\n";
+  os << "  slack: " << std::setprecision(2) << result.slack_before_ns << " ns -> "
+     << result.slack_after_ns << " ns\n";
+  os << "  isolated modules: " << result.records.size() << "\n";
+  for (const IsolationRecord& rec : result.records) {
+    os << "    " << result.netlist.cell(rec.candidate).name << ": "
+       << isolation_style_name(rec.style) << " bank, " << rec.isolated_bits << " bits, "
+       << rec.literal_count << " activation literals, AS net '"
+       << result.netlist.net(rec.as_net).name << "'\n";
+  }
+  return os.str();
+}
+
+std::string format_iteration_log(const IsolationResult& result) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  for (const IterationLog& log : result.iterations) {
+    os << "iteration " << log.iteration << " (total " << std::setprecision(3)
+       << log.total_power_mw << " mW, " << log.num_isolated << " isolated)\n"
+       << std::setprecision(4);
+    for (const CandidateEvaluation& ev : log.evaluations) {
+      os << "  " << (ev.isolated_now ? '+' : ' ') << ' ' << ev.cell_name << " [block "
+         << ev.block << "] Pr(!f)=" << std::setprecision(2) << ev.pr_redundant
+         << std::setprecision(4) << " dPp=" << ev.primary_mw << " dPs=" << ev.secondary_mw
+         << " Pi=" << ev.overhead_mw << " h=" << ev.h;
+      if (ev.slack_vetoed) os << " [slack veto]";
+      if (!ev.legal) os << " [illegal]";
+      os << "  AS=" << ev.activation_str << "\n";
+    }
+  }
+  return os.str();
+}
+
+void write_isolation_report(std::ostream& os, const IsolationResult& result) {
+  os << format_isolation_summary(result) << "\n" << format_iteration_log(result);
+}
+
+}  // namespace opiso

@@ -1,0 +1,119 @@
+#include "isolation/transform.hpp"
+
+#include <unordered_map>
+
+#include "netlist/traversal.hpp"
+
+namespace opiso {
+
+std::string_view isolation_style_name(IsolationStyle style) {
+  switch (style) {
+    case IsolationStyle::And:
+      return "AND";
+    case IsolationStyle::Or:
+      return "OR";
+    case IsolationStyle::Latch:
+      return "LAT";
+  }
+  return "?";
+}
+
+CellKind isolation_cell_kind(IsolationStyle style) {
+  switch (style) {
+    case IsolationStyle::And:
+      return CellKind::IsoAnd;
+    case IsolationStyle::Or:
+      return CellKind::IsoOr;
+    case IsolationStyle::Latch:
+      return CellKind::IsoLatch;
+  }
+  throw Error("isolation_cell_kind: invalid style");
+}
+
+bool isolation_is_legal(const Netlist& nl, const ExprPool& pool, const NetVarMap& vars,
+                        CellId cell, ExprRef activation) {
+  for (BoolVar v : pool.support(activation)) {
+    if (net_in_combinational_fanout(nl, cell, vars.net_of(v))) return false;
+  }
+  return true;
+}
+
+NetId synthesize_activation_logic(Netlist& nl, const ExprPool& pool, const NetVarMap& vars,
+                                  ExprRef expr, const std::string& prefix,
+                                  std::vector<CellId>* created_cells) {
+  std::unordered_map<std::uint32_t, NetId> memo;
+  int counter = 0;
+  auto note = [&](NetId net) {
+    if (created_cells) created_cells->push_back(nl.net(net).driver);
+    return net;
+  };
+  std::function<NetId(ExprRef)> build = [&](ExprRef r) -> NetId {
+    if (auto it = memo.find(r.value()); it != memo.end()) return it->second;
+    const ExprNode n = pool.node(r);
+    NetId net;
+    switch (n.op) {
+      case ExprOp::Const0:
+        net = note(nl.add_const(nl.fresh_net_name(prefix + "_c0"), 0, 1));
+        break;
+      case ExprOp::Const1:
+        net = note(nl.add_const(nl.fresh_net_name(prefix + "_c1"), 1, 1));
+        break;
+      case ExprOp::Var:
+        net = vars.net_of(n.var);  // tap the existing control net
+        break;
+      case ExprOp::Not:
+        net = note(nl.add_unop(CellKind::Not,
+                               nl.fresh_net_name(prefix + "_n" + std::to_string(counter++)),
+                               build(n.a)));
+        break;
+      case ExprOp::And:
+        net = note(nl.add_binop(CellKind::And,
+                                nl.fresh_net_name(prefix + "_a" + std::to_string(counter++)),
+                                build(n.a), build(n.b)));
+        break;
+      case ExprOp::Or:
+        net = note(nl.add_binop(CellKind::Or,
+                                nl.fresh_net_name(prefix + "_o" + std::to_string(counter++)),
+                                build(n.a), build(n.b)));
+        break;
+    }
+    memo.emplace(r.value(), net);
+    return net;
+  };
+  return build(expr);
+}
+
+IsolationRecord isolate_module(Netlist& nl, const ExprPool& pool, const NetVarMap& vars,
+                               CellId cell, ExprRef activation, IsolationStyle style) {
+  const Cell& c = nl.cell(cell);
+  OPISO_REQUIRE(c.out.valid() && !c.ins.empty(), "isolate_module: cell has no data inputs");
+  if (!isolation_is_legal(nl, pool, vars, cell, activation)) {
+    throw NetlistError("isolating '" + c.name +
+                       "' would create a combinational cycle through its activation logic");
+  }
+
+  IsolationRecord rec;
+  rec.candidate = cell;
+  rec.style = style;
+  rec.literal_count = pool.literal_count(activation);
+
+  const std::string prefix = "as_" + std::to_string(cell.value());
+  rec.as_net = synthesize_activation_logic(nl, pool, vars, activation, prefix, &rec.logic_cells);
+
+  const CellKind bank_kind = isolation_cell_kind(style);
+  // Snapshot the pin list: inserting cells appends to the arena and the
+  // Cell reference above may dangle after add_iso reallocates.
+  const std::vector<NetId> pins = nl.cell(cell).ins;
+  for (int p = 0; p < static_cast<int>(pins.size()); ++p) {
+    const NetId data = pins[static_cast<size_t>(p)];
+    const std::string name =
+        nl.fresh_net_name("iso_" + std::to_string(cell.value()) + "_" + std::to_string(p));
+    const NetId blocked = nl.add_iso(bank_kind, name, data, rec.as_net);
+    nl.reconnect_input(cell, p, blocked);
+    rec.bank_cells.push_back(nl.net(blocked).driver);
+    rec.isolated_bits += nl.net(data).width;
+  }
+  return rec;
+}
+
+}  // namespace opiso

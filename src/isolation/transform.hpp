@@ -1,0 +1,59 @@
+#pragma once
+// Netlist transform: insert isolation banks and activation logic.
+//
+// Sec. 5.2: three isolation implementations. Latch banks freeze the
+// operand at its last value (savings from the first redundant cycle);
+// AND (OR) banks force zeros (ones), which costs one extra transition on
+// entry to an idle period but avoids the latches' area, clocking and
+// verification burden — the paper's recommended style.
+//
+// The activation function is synthesized structurally into 1-bit
+// gates tapping the existing control nets; shared subexpressions map to
+// shared gates. Legality: the synthesized logic must not tap any net in
+// the candidate's own combinational fanout (that would create a
+// combinational cycle through the isolation bank).
+
+#include <string>
+#include <vector>
+
+#include "boolfn/expr.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/activity.hpp"
+
+namespace opiso {
+
+enum class IsolationStyle { And, Or, Latch };
+
+[[nodiscard]] std::string_view isolation_style_name(IsolationStyle style);
+[[nodiscard]] CellKind isolation_cell_kind(IsolationStyle style);
+
+struct IsolationRecord {
+  CellId candidate;
+  IsolationStyle style = IsolationStyle::And;
+  NetId as_net;                     ///< activation signal
+  std::vector<CellId> bank_cells;   ///< one per isolated input pin
+  std::vector<CellId> logic_cells;  ///< synthesized activation logic
+  std::size_t literal_count = 0;    ///< of the factored activation fn
+  unsigned isolated_bits = 0;       ///< total input bits blocked
+};
+
+/// True iff inserting activation logic for `activation` at the inputs of
+/// `cell` cannot create a combinational cycle (no tapped control net lies
+/// in the candidate's combinational fanout).
+[[nodiscard]] bool isolation_is_legal(const Netlist& nl, const ExprPool& pool,
+                                      const NetVarMap& vars, CellId cell, ExprRef activation);
+
+/// Synthesize `expr` into 1-bit gates; returns the net carrying the
+/// value. Constants become Constant cells; variables map to their nets.
+/// Gate/net names are derived from `prefix`.
+[[nodiscard]] NetId synthesize_activation_logic(Netlist& nl, const ExprPool& pool,
+                                                const NetVarMap& vars, ExprRef expr,
+                                                const std::string& prefix,
+                                                std::vector<CellId>* created_cells = nullptr);
+
+/// Isolate every input of `cell` with banks of the given style driven by
+/// the synthesized activation signal. Throws NetlistError if illegal.
+IsolationRecord isolate_module(Netlist& nl, const ExprPool& pool, const NetVarMap& vars,
+                               CellId cell, ExprRef activation, IsolationStyle style);
+
+}  // namespace opiso

@@ -1,0 +1,27 @@
+#pragma once
+// Gate-level reference power measurement.
+//
+// Lowers a word-level design to gates, simulates it with the same
+// stimulus, and estimates power from the actual per-gate switching —
+// the "ground truth" the word-level macro models approximate. Used by
+// bench_power_models to quantify the accuracy of the word-level and
+// bit-level macro models under uniform vs. correlated data.
+
+#include "lower/gate_level.hpp"
+#include "power/estimator.hpp"
+
+namespace opiso {
+
+struct GateRefPower {
+  double total_mw = 0.0;
+  std::uint64_t gate_toggles = 0;  ///< total net toggles in the lowered design
+  std::size_t gate_cells = 0;
+};
+
+/// `stim` is a word-level stimulus for `word_design`; it is adapted to
+/// the lowered bit inputs internally.
+[[nodiscard]] GateRefPower measure_gate_level_power(const Netlist& word_design, Stimulus& stim,
+                                                    std::uint64_t cycles,
+                                                    const MacroPowerModel& model = {});
+
+}  // namespace opiso

@@ -1,0 +1,89 @@
+#include "netlist/cell.hpp"
+
+#include <array>
+#include <string>
+
+namespace opiso {
+
+namespace {
+constexpr std::array<std::string_view, kNumCellKinds> kNames = {
+    "input", "output", "const", "add", "sub",  "mul",  "eq",   "lt",
+    "shl",   "shr",    "not",   "buf", "and",  "or",   "xor",  "nand",
+    "nor",   "xnor",   "mux2",  "reg", "latch", "iso_and", "iso_or", "iso_latch",
+};
+}  // namespace
+
+std::string_view cell_kind_name(CellKind kind) {
+  return kNames[static_cast<int>(kind)];
+}
+
+CellKind cell_kind_from_name(std::string_view name) {
+  for (int i = 0; i < kNumCellKinds; ++i) {
+    if (kNames[i] == name) return static_cast<CellKind>(i);
+  }
+  throw ParseError("unknown cell kind: '" + std::string(name) + "'");
+}
+
+int cell_kind_num_inputs(CellKind kind) {
+  switch (kind) {
+    case CellKind::PrimaryInput:
+    case CellKind::Constant:
+      return 0;
+    case CellKind::PrimaryOutput:
+    case CellKind::Not:
+    case CellKind::Buf:
+    case CellKind::Shl:
+    case CellKind::Shr:
+      return 1;
+    case CellKind::Add:
+    case CellKind::Sub:
+    case CellKind::Mul:
+    case CellKind::Eq:
+    case CellKind::Lt:
+    case CellKind::And:
+    case CellKind::Or:
+    case CellKind::Xor:
+    case CellKind::Nand:
+    case CellKind::Nor:
+    case CellKind::Xnor:
+    case CellKind::Reg:
+    case CellKind::Latch:
+    case CellKind::IsoAnd:
+    case CellKind::IsoOr:
+    case CellKind::IsoLatch:
+      return 2;
+    case CellKind::Mux2:
+      return 3;
+  }
+  throw Error("cell_kind_num_inputs: invalid kind");
+}
+
+std::string_view cell_port_name(CellKind kind, int port) {
+  switch (kind) {
+    case CellKind::Mux2: {
+      constexpr std::array<std::string_view, 3> names = {"S", "A", "B"};
+      OPISO_REQUIRE(port >= 0 && port < 3, "Mux2 port out of range");
+      return names[static_cast<size_t>(port)];
+    }
+    case CellKind::Reg:
+    case CellKind::Latch: {
+      constexpr std::array<std::string_view, 2> names = {"D", "EN"};
+      OPISO_REQUIRE(port >= 0 && port < 2, "Reg/Latch port out of range");
+      return names[static_cast<size_t>(port)];
+    }
+    case CellKind::IsoAnd:
+    case CellKind::IsoOr:
+    case CellKind::IsoLatch: {
+      constexpr std::array<std::string_view, 2> names = {"D", "AS"};
+      OPISO_REQUIRE(port >= 0 && port < 2, "isolation cell port out of range");
+      return names[static_cast<size_t>(port)];
+    }
+    default: {
+      constexpr std::array<std::string_view, 3> names = {"A", "B", "C"};
+      OPISO_REQUIRE(port >= 0 && port < 3, "port out of range");
+      return names[static_cast<size_t>(port)];
+    }
+  }
+}
+
+}  // namespace opiso

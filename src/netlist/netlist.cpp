@@ -1,0 +1,320 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "netlist/traversal.hpp"
+
+namespace opiso {
+
+const Cell& Netlist::cell(CellId id) const {
+  OPISO_REQUIRE(id.valid() && id.value() < cells_.size(), "invalid cell id");
+  return cells_[id.value()];
+}
+
+const Net& Netlist::net(NetId id) const {
+  OPISO_REQUIRE(id.valid() && id.value() < nets_.size(), "invalid net id");
+  return nets_[id.value()];
+}
+
+std::vector<CellId> Netlist::cell_ids() const {
+  std::vector<CellId> ids;
+  ids.reserve(cells_.size());
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+std::vector<NetId> Netlist::net_ids() const {
+  std::vector<NetId> ids;
+  ids.reserve(nets_.size());
+  for (std::uint32_t i = 0; i < nets_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+NetId Netlist::find_net(std::string_view name) const {
+  auto it = net_by_name_.find(std::string(name));
+  return it == net_by_name_.end() ? NetId::invalid() : it->second;
+}
+
+CellId Netlist::find_cell(std::string_view name) const {
+  auto it = cell_by_name_.find(std::string(name));
+  return it == cell_by_name_.end() ? CellId::invalid() : it->second;
+}
+
+NetId Netlist::add_net(std::string name, unsigned width) {
+  OPISO_REQUIRE(!name.empty(), "net name must be non-empty");
+  OPISO_REQUIRE(width >= 1 && width <= 64, "net width must be in [1,64]");
+  OPISO_REQUIRE(net_by_name_.find(name) == net_by_name_.end(),
+                "duplicate net name: " + name);
+  NetId id{static_cast<std::uint32_t>(nets_.size())};
+  Net n;
+  n.name = name;
+  n.width = width;
+  nets_.push_back(std::move(n));
+  net_by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+unsigned Netlist::infer_width(CellKind kind, const std::vector<NetId>& ins,
+                              std::uint64_t param) const {
+  switch (kind) {
+    case CellKind::PrimaryInput:
+    case CellKind::Constant:
+      throw Error("infer_width: source kinds carry their own width");
+    case CellKind::PrimaryOutput:
+      return net(ins.at(0)).width;
+    case CellKind::Add:
+    case CellKind::Sub:
+      return std::max(net(ins.at(0)).width, net(ins.at(1)).width);
+    case CellKind::Mul:
+      return std::min(64u, net(ins.at(0)).width + net(ins.at(1)).width);
+    case CellKind::Eq:
+    case CellKind::Lt:
+      return 1;
+    case CellKind::Shl:
+    case CellKind::Shr:
+      (void)param;
+      return net(ins.at(0)).width;
+    case CellKind::Not:
+    case CellKind::Buf:
+      return net(ins.at(0)).width;
+    case CellKind::And:
+    case CellKind::Or:
+    case CellKind::Xor:
+    case CellKind::Nand:
+    case CellKind::Nor:
+    case CellKind::Xnor:
+      return std::max(net(ins.at(0)).width, net(ins.at(1)).width);
+    case CellKind::Mux2:
+      return std::max(net(ins.at(1)).width, net(ins.at(2)).width);
+    case CellKind::Reg:
+    case CellKind::Latch:
+      return net(ins.at(0)).width;
+    case CellKind::IsoAnd:
+    case CellKind::IsoOr:
+    case CellKind::IsoLatch:
+      return net(ins.at(0)).width;
+  }
+  throw Error("infer_width: invalid kind");
+}
+
+void Netlist::check_new_cell(CellKind kind, const std::string& name,
+                             const std::vector<NetId>& ins, NetId out) const {
+  OPISO_REQUIRE(!name.empty(), "cell name must be non-empty");
+  OPISO_REQUIRE(cell_by_name_.find(name) == cell_by_name_.end(),
+                "duplicate cell name: " + name);
+  const int want = cell_kind_num_inputs(kind);
+  OPISO_REQUIRE(static_cast<int>(ins.size()) == want,
+                "cell '" + name + "' (" + std::string(cell_kind_name(kind)) + ") needs " +
+                    std::to_string(want) + " inputs, got " + std::to_string(ins.size()));
+  for (NetId in : ins) {
+    OPISO_REQUIRE(in.valid() && in.value() < nets_.size(),
+                  "cell '" + name + "' references an invalid input net");
+  }
+  if (cell_kind_has_output(kind)) {
+    OPISO_REQUIRE(out.valid() && out.value() < nets_.size(),
+                  "cell '" + name + "' references an invalid output net");
+    OPISO_REQUIRE(!nets_[out.value()].driver.valid(),
+                  "net '" + nets_[out.value()].name + "' already has a driver");
+  } else {
+    OPISO_REQUIRE(!out.valid(), "PrimaryOutput cells have no output net");
+  }
+  // Per-kind width rules on 1-bit control pins.
+  auto require_w1 = [&](int port) {
+    OPISO_REQUIRE(nets_[ins[static_cast<size_t>(port)].value()].width == 1,
+                  "cell '" + name + "': port " + std::string(cell_port_name(kind, port)) +
+                      " must be 1 bit wide");
+  };
+  switch (kind) {
+    case CellKind::Mux2:
+      require_w1(0);
+      break;
+    case CellKind::Reg:
+    case CellKind::Latch:
+    case CellKind::IsoAnd:
+    case CellKind::IsoOr:
+    case CellKind::IsoLatch:
+      require_w1(1);
+      break;
+    default:
+      break;
+  }
+}
+
+CellId Netlist::add_cell(CellKind kind, std::string name, const std::vector<NetId>& ins,
+                         NetId out, std::uint64_t param) {
+  check_new_cell(kind, name, ins, out);
+  CellId id{static_cast<std::uint32_t>(cells_.size())};
+  Cell c;
+  c.kind = kind;
+  c.name = name;
+  c.param = param;
+  c.ins = ins;
+  c.out = out;
+  if (cell_kind_has_output(kind)) {
+    Net& onet = nets_[out.value()];
+    onet.driver = id;
+    c.width = onet.width;
+    if (kind != CellKind::PrimaryInput && kind != CellKind::Constant) {
+      const unsigned inferred = infer_width(kind, ins, param);
+      OPISO_REQUIRE(onet.width == inferred,
+                    "cell '" + name + "': output net '" + onet.name + "' width " +
+                        std::to_string(onet.width) + " != inferred width " +
+                        std::to_string(inferred));
+    }
+  } else {
+    c.width = nets_[ins[0].value()].width;
+  }
+  for (int p = 0; p < static_cast<int>(ins.size()); ++p) {
+    nets_[ins[static_cast<size_t>(p)].value()].fanouts.push_back(Pin{id, p});
+  }
+  cells_.push_back(std::move(c));
+  cell_by_name_.emplace(std::move(name), id);
+  if (kind == CellKind::PrimaryInput) inputs_.push_back(id);
+  if (kind == CellKind::PrimaryOutput) outputs_.push_back(id);
+  return id;
+}
+
+NetId Netlist::add_input(const std::string& name, unsigned width) {
+  NetId out = add_net(name, width);
+  add_cell(CellKind::PrimaryInput, "pi:" + name, {}, out);
+  return out;
+}
+
+CellId Netlist::add_output(const std::string& name, NetId src) {
+  return add_cell(CellKind::PrimaryOutput, "po:" + name, {src}, NetId::invalid());
+}
+
+NetId Netlist::add_const(const std::string& name, std::uint64_t value, unsigned width) {
+  OPISO_REQUIRE(width >= 1 && width <= 64, "constant width must be in [1,64]");
+  const std::uint64_t mask = width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  OPISO_REQUIRE((value & ~mask) == 0, "constant value does not fit its width");
+  NetId out = add_net(name, width);
+  add_cell(CellKind::Constant, "const:" + name, {}, out, value);
+  return out;
+}
+
+NetId Netlist::add_unop(CellKind kind, const std::string& name, NetId a) {
+  NetId out = add_net(name, infer_width(kind, {a}, 0));
+  add_cell(kind, "u:" + name, {a}, out);
+  return out;
+}
+
+NetId Netlist::add_binop(CellKind kind, const std::string& name, NetId a, NetId b) {
+  NetId out = add_net(name, infer_width(kind, {a, b}, 0));
+  add_cell(kind, "b:" + name, {a, b}, out);
+  return out;
+}
+
+NetId Netlist::add_shift(CellKind kind, const std::string& name, NetId a, unsigned amount) {
+  OPISO_REQUIRE(kind == CellKind::Shl || kind == CellKind::Shr, "add_shift: not a shift kind");
+  NetId out = add_net(name, infer_width(kind, {a}, amount));
+  add_cell(kind, "s:" + name, {a}, out, amount);
+  return out;
+}
+
+NetId Netlist::add_mux2(const std::string& name, NetId sel, NetId a, NetId b) {
+  NetId out = add_net(name, infer_width(CellKind::Mux2, {sel, a, b}, 0));
+  add_cell(CellKind::Mux2, "m:" + name, {sel, a, b}, out);
+  return out;
+}
+
+NetId Netlist::add_reg(const std::string& name, NetId d, NetId en) {
+  NetId out = add_net(name, net(d).width);
+  add_cell(CellKind::Reg, "r:" + name, {d, en}, out);
+  return out;
+}
+
+NetId Netlist::add_latch(const std::string& name, NetId d, NetId en) {
+  NetId out = add_net(name, net(d).width);
+  add_cell(CellKind::Latch, "l:" + name, {d, en}, out);
+  return out;
+}
+
+NetId Netlist::add_iso(CellKind kind, const std::string& name, NetId d, NetId as) {
+  OPISO_REQUIRE(cell_kind_is_isolation(kind), "add_iso: not an isolation kind");
+  NetId out = add_net(name, net(d).width);
+  add_cell(kind, "i:" + name, {d, as}, out);
+  return out;
+}
+
+void Netlist::reconnect_input(CellId consumer, int port, NetId new_net) {
+  OPISO_REQUIRE(consumer.valid() && consumer.value() < cells_.size(), "invalid cell id");
+  Cell& c = cells_[consumer.value()];
+  OPISO_REQUIRE(port >= 0 && port < static_cast<int>(c.ins.size()),
+                "reconnect_input: port out of range");
+  OPISO_REQUIRE(new_net.valid() && new_net.value() < nets_.size(), "invalid net id");
+  NetId old_net = c.ins[static_cast<size_t>(port)];
+  OPISO_REQUIRE(nets_[old_net.value()].width == nets_[new_net.value()].width,
+                "reconnect_input: width mismatch");
+  auto& old_fanouts = nets_[old_net.value()].fanouts;
+  auto it = std::find(old_fanouts.begin(), old_fanouts.end(), Pin{consumer, port});
+  OPISO_ASSERT(it != old_fanouts.end(), "fanout list out of sync");
+  old_fanouts.erase(it);
+  c.ins[static_cast<size_t>(port)] = new_net;
+  nets_[new_net.value()].fanouts.push_back(Pin{consumer, port});
+}
+
+std::string Netlist::fresh_net_name(const std::string& base) const {
+  if (net_by_name_.find(base) == net_by_name_.end()) return base;
+  for (int i = 1;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (net_by_name_.find(candidate) == net_by_name_.end()) return candidate;
+  }
+}
+
+void Netlist::rename_net(NetId id, const std::string& new_name) {
+  OPISO_REQUIRE(id.valid() && id.value() < nets_.size(), "rename_net: invalid id");
+  OPISO_REQUIRE(!new_name.empty(), "rename_net: name must be non-empty");
+  OPISO_REQUIRE(net_by_name_.find(new_name) == net_by_name_.end(),
+                "rename_net: duplicate net name: " + new_name);
+  net_by_name_.erase(nets_[id.value()].name);
+  nets_[id.value()].name = new_name;
+  net_by_name_.emplace(new_name, id);
+}
+
+void Netlist::rename_cell(CellId id, const std::string& new_name) {
+  OPISO_REQUIRE(id.valid() && id.value() < cells_.size(), "rename_cell: invalid id");
+  OPISO_REQUIRE(!new_name.empty(), "rename_cell: name must be non-empty");
+  OPISO_REQUIRE(cell_by_name_.find(new_name) == cell_by_name_.end(),
+                "rename_cell: duplicate cell name: " + new_name);
+  cell_by_name_.erase(cells_[id.value()].name);
+  cells_[id.value()].name = new_name;
+  cell_by_name_.emplace(new_name, id);
+}
+
+std::string Netlist::fresh_cell_name(const std::string& base) const {
+  if (cell_by_name_.find(base) == cell_by_name_.end()) return base;
+  for (int i = 1;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (cell_by_name_.find(candidate) == cell_by_name_.end()) return candidate;
+  }
+}
+
+void Netlist::validate() const {
+  for (std::uint32_t ni = 0; ni < nets_.size(); ++ni) {
+    const Net& n = nets_[ni];
+    if (!n.driver.valid()) throw NetlistError("net '" + n.name + "' has no driver");
+    for (const Pin& pin : n.fanouts) {
+      if (!pin.cell.valid() || pin.cell.value() >= cells_.size())
+        throw NetlistError("net '" + n.name + "' fans out to an invalid cell");
+      const Cell& c = cells_[pin.cell.value()];
+      if (pin.port < 0 || pin.port >= static_cast<int>(c.ins.size()))
+        throw NetlistError("net '" + n.name + "' fanout port out of range");
+      if (c.ins[static_cast<size_t>(pin.port)] != NetId{ni})
+        throw NetlistError("net '" + n.name + "' fanout list inconsistent with cell '" + c.name +
+                           "'");
+    }
+  }
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
+    const Cell& c = cells_[ci];
+    if (cell_kind_has_output(c.kind) &&
+        (!c.out.valid() || nets_[c.out.value()].driver != CellId{ci})) {
+      throw NetlistError("cell '" + c.name + "' output driver link broken");
+    }
+  }
+  // Acyclicity of the combinational graph (registers break cycles;
+  // latches do not). topological_order throws on a combinational cycle.
+  (void)topological_order(*this);
+}
+
+}  // namespace opiso

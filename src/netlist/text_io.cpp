@@ -1,0 +1,112 @@
+#include "netlist/text_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace opiso {
+
+void write_netlist(std::ostream& os, const Netlist& nl) {
+  os << "design " << (nl.name().empty() ? "unnamed" : nl.name()) << "\n";
+  for (NetId id : nl.net_ids()) {
+    const Net& n = nl.net(id);
+    os << "net " << n.name << ' ' << n.width << "\n";
+  }
+  for (CellId id : nl.cell_ids()) {
+    const Cell& c = nl.cell(id);
+    os << "cell " << c.name << ' ' << cell_kind_name(c.kind);
+    if (c.param != 0) os << " param=" << c.param;
+    os << " -> " << (c.out.valid() ? nl.net(c.out).name : "-") << " :";
+    for (NetId in : c.ins) os << ' ' << nl.net(in).name;
+    os << "\n";
+  }
+}
+
+std::string netlist_to_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_netlist(os, nl);
+  return os.str();
+}
+
+Netlist read_netlist(std::istream& is) {
+  Netlist nl;
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    throw ParseError("rtn line " + std::to_string(lineno) + ": " + msg);
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments and surrounding whitespace.
+    if (auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string head;
+    if (!(ls >> head)) continue;
+    if (head == "design") {
+      std::string name;
+      if (!(ls >> name)) fail("design needs a name");
+      nl.set_name(name);
+    } else if (head == "net") {
+      std::string name;
+      unsigned width = 0;
+      if (!(ls >> name >> width)) fail("net needs <name> <width>");
+      try {
+        nl.add_net(name, width);
+      } catch (const Error& e) {
+        fail(e.what());
+      }
+    } else if (head == "cell") {
+      std::string name, kind_name, tok;
+      if (!(ls >> name >> kind_name)) fail("cell needs <name> <kind>");
+      std::uint64_t param = 0;
+      if (!(ls >> tok)) fail("cell line truncated");
+      if (tok.rfind("param=", 0) == 0) {
+        param = std::stoull(tok.substr(6));
+        if (!(ls >> tok)) fail("cell line truncated after param");
+      }
+      if (tok != "->") fail("expected '->'");
+      std::string out_name;
+      if (!(ls >> out_name)) fail("cell needs an output net or '-'");
+      std::string colon;
+      if (!(ls >> colon) || colon != ":") fail("expected ':' before inputs");
+      std::vector<NetId> ins;
+      while (ls >> tok) {
+        NetId in = nl.find_net(tok);
+        if (!in.valid()) fail("unknown input net '" + tok + "'");
+        ins.push_back(in);
+      }
+      NetId out = NetId::invalid();
+      if (out_name != "-") {
+        out = nl.find_net(out_name);
+        if (!out.valid()) fail("unknown output net '" + out_name + "'");
+      }
+      try {
+        nl.add_cell(cell_kind_from_name(kind_name), name, ins, out, param);
+      } catch (const Error& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown directive '" + head + "'");
+    }
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist netlist_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_netlist(is);
+}
+
+void save_netlist(const std::string& path, const Netlist& nl) {
+  std::ofstream os(path);
+  OPISO_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
+  write_netlist(os, nl);
+}
+
+Netlist load_netlist(const std::string& path) {
+  std::ifstream is(path);
+  OPISO_REQUIRE(is.good(), "cannot open '" + path + "' for reading");
+  return read_netlist(is);
+}
+
+}  // namespace opiso

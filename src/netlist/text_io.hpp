@@ -1,0 +1,29 @@
+#pragma once
+// Textual netlist format (.rtn) — exact round-trip of the data model.
+//
+//   # comment
+//   design <name>
+//   net <name> <width>
+//   cell <name> <kind> [param=<uint>] -> <outnet|-> : <in1> <in2> ...
+//
+// Nets are declared before the cells that use them; cells appear in
+// insertion order, which add_cell re-validates on load (single driver,
+// pin counts, width rules).
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace opiso {
+
+void write_netlist(std::ostream& os, const Netlist& nl);
+[[nodiscard]] std::string netlist_to_string(const Netlist& nl);
+
+[[nodiscard]] Netlist read_netlist(std::istream& is);
+[[nodiscard]] Netlist netlist_from_string(const std::string& text);
+
+void save_netlist(const std::string& path, const Netlist& nl);
+[[nodiscard]] Netlist load_netlist(const std::string& path);
+
+}  // namespace opiso

@@ -1,0 +1,49 @@
+#pragma once
+// Word-level netlist optimization passes.
+//
+// optimize() rebuilds the netlist in topological order applying local
+// rewrites, then drops everything that cannot reach a primary output:
+//
+//   * constant folding    — cells whose inputs are all constants become
+//                           Constant cells (arith, gates, mux, shifts),
+//   * gate simplification — identity/annihilator rewrites (x&0 -> 0,
+//                           x&~0 -> x, mux with constant select -> leg,
+//                           x^0 -> x, buffers bypassed, x op x folds),
+//   * common-subexpression elimination — structurally identical
+//                           combinational cells share one instance,
+//   * dead-code elimination — cells with no path to any primary output
+//                           are removed (unused state machines too).
+//
+// The passes matter to operand isolation twice over: synthesized
+// activation logic can share/shrink (the paper notes the inserted
+// AND/OR gates "made additional Boolean optimizations possible", Sec. 6),
+// and constant activation functions (f = 0 dead modules) fold away.
+//
+// Primary inputs are interface and always preserved; primary outputs
+// and their cones are the liveness roots. Output order is preserved, so
+// optimized netlists stay lock-step comparable with their originals.
+
+#include "netlist/netlist.hpp"
+
+namespace opiso {
+
+struct OptimizeOptions {
+  bool constant_fold = true;
+  bool simplify = true;  ///< identity/annihilator/idempotence rewrites
+  bool cse = true;
+  bool dead_code_elim = true;
+};
+
+struct OptimizeStats {
+  std::size_t cells_before = 0;
+  std::size_t cells_after = 0;
+  std::size_t folded_constants = 0;
+  std::size_t simplified = 0;   ///< rewrites that bypassed a cell
+  std::size_t cse_merged = 0;
+  std::size_t dead_removed = 0;
+};
+
+[[nodiscard]] Netlist optimize(const Netlist& nl, const OptimizeOptions& options = {},
+                               OptimizeStats* stats = nullptr);
+
+}  // namespace opiso

@@ -1,0 +1,54 @@
+#include "power/area_model.hpp"
+
+namespace opiso {
+
+double AreaModel::cell_area_um2(CellKind kind, unsigned width) const {
+  const double w = static_cast<double>(width);
+  switch (kind) {
+    case CellKind::PrimaryInput:
+    case CellKind::PrimaryOutput:
+    case CellKind::Constant:
+      return 0.0;
+    case CellKind::Add:
+    case CellKind::Sub:
+      return 210.0 * w;
+    case CellKind::Mul:
+      return 95.0 * w * w;
+    case CellKind::Eq:
+    case CellKind::Lt:
+      return 60.0 * w;
+    case CellKind::Shl:
+    case CellKind::Shr:
+      return 4.0 * w;
+    case CellKind::Not:
+    case CellKind::Buf:
+      return 9.0 * w;
+    case CellKind::And:
+    case CellKind::Or:
+    case CellKind::Nand:
+    case CellKind::Nor:
+      return 14.0 * w;
+    case CellKind::Xor:
+    case CellKind::Xnor:
+      return 22.0 * w;
+    case CellKind::Mux2:
+      return 26.0 * w;
+    case CellKind::Reg:
+      return 85.0 * w;
+    case CellKind::Latch:
+    case CellKind::IsoLatch:
+      return 55.0 * w;
+    case CellKind::IsoAnd:
+    case CellKind::IsoOr:
+      return 14.0 * w;
+  }
+  return 0.0;
+}
+
+double AreaModel::total_area_um2(const Netlist& nl) const {
+  double total = 0.0;
+  for (CellId id : nl.cell_ids()) total += cell_area_um2(nl.cell(id));
+  return total;
+}
+
+}  // namespace opiso

@@ -1,0 +1,23 @@
+#pragma once
+// Cell area model (µm², 0.25µm-class standard cells).
+//
+// The isolation cost model (Sec. 5.1) charges area for the isolation
+// banks ("readily given by the number of input bits to isolate") and for
+// the activation logic (literal count of the factored activation
+// function). Datapath modules get width-proportional areas except the
+// multiplier, which grows quadratically.
+
+#include "netlist/netlist.hpp"
+
+namespace opiso {
+
+struct AreaModel {
+  [[nodiscard]] double cell_area_um2(CellKind kind, unsigned width) const;
+  [[nodiscard]] double cell_area_um2(const Cell& cell) const {
+    return cell_area_um2(cell.kind, cell.width);
+  }
+  /// Sum over all cells.
+  [[nodiscard]] double total_area_um2(const Netlist& nl) const;
+};
+
+}  // namespace opiso

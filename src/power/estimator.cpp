@@ -1,0 +1,43 @@
+#include "power/estimator.hpp"
+
+namespace opiso {
+
+std::vector<double> PowerEstimator::input_toggle_rates(const Netlist& nl,
+                                                       const ActivityStats& stats,
+                                                       CellId cell) const {
+  const Cell& c = nl.cell(cell);
+  std::vector<double> rates;
+  rates.reserve(c.ins.size());
+  for (NetId in : c.ins) rates.push_back(stats.toggle_rate(in));
+  return rates;
+}
+
+double PowerEstimator::cell_power_mw(const Netlist& nl, const ActivityStats& stats,
+                                     CellId cell) const {
+  const Cell& c = nl.cell(cell);
+  const std::vector<double> rates = input_toggle_rates(nl, stats, cell);
+  return model_.module_power_mw(c.kind, c.width, rates);
+}
+
+PowerBreakdown PowerEstimator::estimate(const Netlist& nl, const ActivityStats& stats) const {
+  PowerBreakdown pb;
+  pb.cell_mw.assign(nl.num_cells(), 0.0);
+  for (CellId id : nl.cell_ids()) {
+    const Cell& c = nl.cell(id);
+    const double mw = cell_power_mw(nl, stats, id);
+    pb.cell_mw[id.value()] = mw;
+    pb.total_mw += mw;
+    if (cell_kind_is_arith(c.kind)) {
+      pb.arith_mw += mw;
+    } else if (cell_kind_is_isolation(c.kind)) {
+      pb.isolation_mw += mw;
+    } else if (c.kind == CellKind::Reg || c.kind == CellKind::Latch) {
+      pb.sequential_mw += mw;
+    } else {
+      pb.steering_mw += mw;
+    }
+  }
+  return pb;
+}
+
+}  // namespace opiso

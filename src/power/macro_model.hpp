@@ -1,0 +1,52 @@
+#pragma once
+// Macro power models p_i(Tr) — Sec. 4.1.
+//
+// The paper assumes that for every isolation candidate a macro power
+// model is available that maps input toggle rates to power (Landman-
+// style RT-level macro models [5,7]). We provide one per cell kind:
+//
+//   P(mW) = f_clk * [ Σ_ports E_port(kind, width) * Tr_port
+//                     + E_static(kind, width) ]
+//
+// where Tr_port is the average number of bit toggles per cycle at that
+// port over the full word (the simulator's measurement), E_port is an
+// effective switched energy per input bit toggle — growing with width
+// for datapath modules because one input toggle ripples through O(w)
+// internal nodes (adders) or O(w) rows (multipliers) — and E_static is
+// a small width-proportional idle/leakage/clock term.
+//
+// Registers additionally burn clock energy every cycle regardless of
+// data activity; that term is what makes latch-based isolation banks
+// more expensive than AND/OR banks and reproduces the paper's headline
+// secondary finding (Sec. 6).
+//
+// The evaluation interface deliberately takes hypothetical toggle rates:
+// the savings model (Sec. 4.2/4.3) queries p_j(0, TrB) and
+// p_j(Tr', TrB) for rates that were never simulated.
+
+#include <span>
+
+#include "netlist/cell.hpp"
+
+namespace opiso {
+
+struct MacroPowerModel {
+  double clock_freq_mhz = 100.0;
+
+  /// Effective switched energy (pJ) per bit toggle at input `port`.
+  [[nodiscard]] double energy_per_toggle_pj(CellKind kind, unsigned width, int port) const;
+
+  /// Activity-independent energy (pJ) per cycle (clock/leakage).
+  [[nodiscard]] double static_energy_pj(CellKind kind, unsigned width) const;
+
+  /// Module power (mW) for the given per-port toggle rates
+  /// (toggles/cycle over the full word). Port count must match the kind.
+  [[nodiscard]] double module_power_mw(CellKind kind, unsigned width,
+                                       std::span<const double> input_toggle_rates) const;
+
+  /// Two-input convenience overload (the paper's p_i(TrA, TrB)).
+  [[nodiscard]] double module_power_mw(CellKind kind, unsigned width, double tr_a,
+                                       double tr_b) const;
+};
+
+}  // namespace opiso

@@ -1,0 +1,70 @@
+#include "sim/activity.hpp"
+
+#include "support/error.hpp"
+
+namespace opiso {
+
+BoolVar NetVarMap::var_of(const Netlist& nl, NetId net) {
+  OPISO_REQUIRE(nl.net(net).width == 1, "NetVarMap: only 1-bit nets can be Boolean variables");
+  if (var_by_net_.size() < nl.num_nets()) var_by_net_.resize(nl.num_nets(), kNoVar);
+  BoolVar& slot = var_by_net_[net.value()];
+  if (slot == kNoVar) {
+    slot = static_cast<BoolVar>(nets_.size());
+    nets_.push_back(net);
+  }
+  return slot;
+}
+
+NetId NetVarMap::net_of(BoolVar v) const {
+  OPISO_REQUIRE(v < nets_.size(), "NetVarMap: unknown variable");
+  return nets_[v];
+}
+
+BoolVar NetVarMap::try_var_of(NetId net) const {
+  if (net.value() >= var_by_net_.size()) return kNoVar;
+  return var_by_net_[net.value()];
+}
+
+double ActivityStats::toggle_rate(NetId net) const {
+  OPISO_REQUIRE(cycles > 0, "toggle_rate: no simulated cycles");
+  OPISO_REQUIRE(net.value() < toggles.size(), "toggle_rate: unknown net");
+  return static_cast<double>(toggles[net.value()]) / static_cast<double>(cycles);
+}
+
+double ActivityStats::prob_one(NetId net) const {
+  OPISO_REQUIRE(cycles > 0, "prob_one: no simulated cycles");
+  OPISO_REQUIRE(net.value() < ones.size(), "prob_one: unknown net");
+  return static_cast<double>(ones[net.value()]) / static_cast<double>(cycles);
+}
+
+double ActivityStats::probe_probability(std::size_t probe) const {
+  OPISO_REQUIRE(cycles > 0, "probe_probability: no simulated cycles");
+  OPISO_REQUIRE(probe < probe_true.size(), "probe_probability: unknown probe");
+  return static_cast<double>(probe_true[probe]) / static_cast<double>(cycles);
+}
+
+double ActivityStats::probe_toggle_rate(std::size_t probe) const {
+  OPISO_REQUIRE(cycles > 0, "probe_toggle_rate: no simulated cycles");
+  OPISO_REQUIRE(probe < probe_toggles.size(), "probe_toggle_rate: unknown probe");
+  return static_cast<double>(probe_toggles[probe]) / static_cast<double>(cycles);
+}
+
+double ActivityStats::bit_toggle_rate(NetId net, unsigned bit) const {
+  OPISO_REQUIRE(cycles > 0, "bit_toggle_rate: no simulated cycles");
+  OPISO_REQUIRE(has_bit_stats(), "bit_toggle_rate: bit-level statistics not collected");
+  OPISO_REQUIRE(net.value() < bit_toggles.size(), "bit_toggle_rate: unknown net");
+  const auto& bits = bit_toggles[net.value()];
+  OPISO_REQUIRE(bit < bits.size(), "bit_toggle_rate: bit out of range");
+  return static_cast<double>(bits[bit]) / static_cast<double>(cycles);
+}
+
+void ActivityStats::reset() {
+  cycles = 0;
+  std::fill(toggles.begin(), toggles.end(), 0);
+  std::fill(ones.begin(), ones.end(), 0);
+  std::fill(probe_true.begin(), probe_true.end(), 0);
+  std::fill(probe_toggles.begin(), probe_toggles.end(), 0);
+  for (auto& bits : bit_toggles) std::fill(bits.begin(), bits.end(), 0);
+}
+
+}  // namespace opiso

@@ -1,0 +1,70 @@
+#pragma once
+// Switching-activity statistics gathered during simulation.
+//
+// Tr (toggle rate) of a net is the average number of bit toggles per
+// clock cycle observed over the simulation — exactly the quantity the
+// paper's macro power models consume (Sec. 4.1). For 1-bit control nets
+// we additionally track the static probability Pr[net = 1].
+//
+// Expr probes evaluate arbitrary Boolean functions of net values each
+// cycle and report Pr[expr] over the run. The savings model needs joint
+// probabilities of dependent signals (Pr(!f_i & f_j & g), Sec. 4.2/4.3);
+// measuring product expressions in-simulation sidesteps any independence
+// assumption, as the paper requires ("the probabilities cannot further
+// be simplified").
+
+#include <cstdint>
+#include <vector>
+
+#include "boolfn/expr.hpp"
+#include "netlist/netlist.hpp"
+
+namespace opiso {
+
+/// Maps 1-bit nets to Boolean variables (shared by activation derivation,
+/// probes, and activation-logic synthesis). Variables are allocated on
+/// first use; the mapping is stable for the lifetime of the object.
+class NetVarMap {
+ public:
+  /// Variable for a (1-bit) net; allocates on first use.
+  BoolVar var_of(const Netlist& nl, NetId net);
+  /// Net of an allocated variable.
+  [[nodiscard]] NetId net_of(BoolVar v) const;
+  [[nodiscard]] std::size_t num_vars() const { return nets_.size(); }
+  /// Variable for the net, or kNoVar if never allocated.
+  [[nodiscard]] BoolVar try_var_of(NetId net) const;
+  static constexpr BoolVar kNoVar = 0xFFFFFFFFu;
+
+ private:
+  std::vector<NetId> nets_;                 ///< var -> net
+  std::vector<BoolVar> var_by_net_;         ///< net.value() -> var (kNoVar = none)
+};
+
+struct ActivityStats {
+  std::uint64_t cycles = 0;
+  std::vector<std::uint64_t> toggles;    ///< per net: total bit toggles
+  std::vector<std::uint64_t> ones;       ///< per net: cycles with bit0 == 1
+  /// Per net, per bit position: toggle counts (empty unless the
+  /// simulator was asked to collect bit-level statistics). Feeds the
+  /// dual-bit-type macro models: LSBs of datapath words behave as white
+  /// noise while MSBs track the (slowly varying) sign/magnitude region.
+  std::vector<std::vector<std::uint64_t>> bit_toggles;
+  std::vector<std::uint64_t> probe_true; ///< per probe: cycles where expr held
+  std::vector<std::uint64_t> probe_toggles; ///< per probe: value changes between cycles
+
+  /// Average bit toggles per cycle over the whole word (the paper's Tr).
+  [[nodiscard]] double toggle_rate(NetId net) const;
+  /// Static probability of a 1-bit net.
+  [[nodiscard]] double prob_one(NetId net) const;
+  /// Pr[probe expression] over the run.
+  [[nodiscard]] double probe_probability(std::size_t probe) const;
+  /// Toggle rate of the probe expression's value (per cycle).
+  [[nodiscard]] double probe_toggle_rate(std::size_t probe) const;
+  /// Toggle rate of one bit of a net (requires bit-level collection).
+  [[nodiscard]] double bit_toggle_rate(NetId net, unsigned bit) const;
+  [[nodiscard]] bool has_bit_stats() const { return !bit_toggles.empty(); }
+
+  void reset();
+};
+
+}  // namespace opiso

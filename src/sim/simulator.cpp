@@ -1,0 +1,236 @@
+#include "sim/simulator.hpp"
+
+#include <bit>
+#include <ostream>
+
+#include "netlist/traversal.hpp"
+#include "support/error.hpp"
+
+namespace opiso {
+
+namespace {
+std::uint64_t width_mask(unsigned width) {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+}  // namespace
+
+Simulator::Simulator(const Netlist& nl, const ExprPool* pool, const NetVarMap* vars)
+    : nl_(nl), pool_(pool), vars_(vars) {
+  nl_.validate();
+  order_ = topological_order(nl_);
+  value_.assign(nl_.num_nets(), 0);
+  prev_.assign(nl_.num_nets(), 0);
+  state_.assign(nl_.num_cells(), 0);
+  mask_.resize(nl_.num_nets());
+  for (NetId id : nl_.net_ids()) mask_[id.value()] = width_mask(nl_.net(id).width);
+  stats_.toggles.assign(nl_.num_nets(), 0);
+  stats_.ones.assign(nl_.num_nets(), 0);
+}
+
+std::size_t Simulator::add_probe(ExprRef expr) {
+  OPISO_REQUIRE(pool_ != nullptr && vars_ != nullptr,
+                "Simulator: probes require an ExprPool and NetVarMap");
+  // Every variable in the probe must be bound to a net of this netlist.
+  for (BoolVar v : pool_->support(expr)) {
+    NetId net = vars_->net_of(v);
+    OPISO_REQUIRE(net.value() < nl_.num_nets(), "probe variable bound to foreign net");
+  }
+  probes_.push_back(expr);
+  prev_probe_.push_back(false);
+  stats_.probe_true.push_back(0);
+  stats_.probe_toggles.push_back(0);
+  return probes_.size() - 1;
+}
+
+void Simulator::settle_combinational() {
+  for (CellId id : order_) {
+    const Cell& c = nl_.cell(id);
+    auto in = [&](int p) { return value_[c.ins[static_cast<size_t>(p)].value()]; };
+    std::uint64_t out = 0;
+    switch (c.kind) {
+      case CellKind::PrimaryInput:  // set by run()
+      case CellKind::PrimaryOutput:
+        continue;
+      case CellKind::Constant:
+        out = c.param;
+        break;
+      case CellKind::Reg:
+        out = state_[id.value()];
+        break;
+      case CellKind::Add:
+        out = in(0) + in(1);
+        break;
+      case CellKind::Sub:
+        out = in(0) - in(1);
+        break;
+      case CellKind::Mul:
+        out = in(0) * in(1);
+        break;
+      case CellKind::Eq:
+        out = in(0) == in(1) ? 1 : 0;
+        break;
+      case CellKind::Lt:
+        out = in(0) < in(1) ? 1 : 0;
+        break;
+      case CellKind::Shl:
+        out = c.param >= 64 ? 0 : in(0) << c.param;
+        break;
+      case CellKind::Shr:
+        out = c.param >= 64 ? 0 : in(0) >> c.param;
+        break;
+      case CellKind::Not:
+        out = ~in(0);
+        break;
+      case CellKind::Buf:
+        out = in(0);
+        break;
+      case CellKind::And:
+        out = in(0) & in(1);
+        break;
+      case CellKind::Or:
+        out = in(0) | in(1);
+        break;
+      case CellKind::Xor:
+        out = in(0) ^ in(1);
+        break;
+      case CellKind::Nand:
+        out = ~(in(0) & in(1));
+        break;
+      case CellKind::Nor:
+        out = ~(in(0) | in(1));
+        break;
+      case CellKind::Xnor:
+        out = ~(in(0) ^ in(1));
+        break;
+      case CellKind::Mux2:
+        out = (in(0) & 1) ? in(2) : in(1);
+        break;
+      case CellKind::Latch:
+        // Transparent while EN = 1; holds otherwise (level-sensitive).
+        if (in(1) & 1) state_[id.value()] = in(0);
+        out = state_[id.value()];
+        break;
+      case CellKind::IsoAnd:
+        out = (in(1) & 1) ? in(0) : 0;
+        break;
+      case CellKind::IsoOr:
+        out = (in(1) & 1) ? in(0) : ~std::uint64_t{0};
+        break;
+      case CellKind::IsoLatch:
+        if (in(1) & 1) state_[id.value()] = in(0);
+        out = state_[id.value()];
+        break;
+    }
+    value_[c.out.value()] = out & mask_[c.out.value()];
+  }
+}
+
+void Simulator::clock_registers() {
+  // All registers sample concurrently on the edge: reads of D happen on
+  // the settled values, so a simple second pass is race-free.
+  for (CellId id : order_) {
+    const Cell& c = nl_.cell(id);
+    if (c.kind != CellKind::Reg) continue;
+    const std::uint64_t en = value_[c.ins[1].value()] & 1;
+    if (en) state_[id.value()] = value_[c.ins[0].value()];
+  }
+}
+
+void Simulator::enable_bit_stats() {
+  if (!stats_.bit_toggles.empty()) return;
+  stats_.bit_toggles.resize(nl_.num_nets());
+  for (NetId id : nl_.net_ids()) {
+    stats_.bit_toggles[id.value()].assign(nl_.net(id).width, 0);
+  }
+}
+
+void Simulator::record_stats() {
+  if (has_prev_) {
+    for (std::size_t n = 0; n < value_.size(); ++n) {
+      std::uint64_t diff = value_[n] ^ prev_[n];
+      stats_.toggles[n] += static_cast<std::uint64_t>(std::popcount(diff));
+      if (!stats_.bit_toggles.empty()) {
+        auto& bits = stats_.bit_toggles[n];
+        while (diff) {
+          const int b = std::countr_zero(diff);
+          ++bits[static_cast<std::size_t>(b)];
+          diff &= diff - 1;
+        }
+      }
+    }
+  }
+  for (std::size_t n = 0; n < value_.size(); ++n) {
+    stats_.ones[n] += value_[n] & 1;
+  }
+  for (std::size_t p = 0; p < probes_.size(); ++p) {
+    const bool hold = pool_->eval(probes_[p], [&](BoolVar v) {
+      return (value_[vars_->net_of(v).value()] & 1) != 0;
+    });
+    if (hold) ++stats_.probe_true[p];
+    if (has_prev_ && hold != prev_probe_[p]) ++stats_.probe_toggles[p];
+    prev_probe_[p] = hold;
+  }
+  ++stats_.cycles;
+}
+
+void Simulator::write_vcd_header() {
+  *vcd_ << "$timescale 1ns $end\n$scope module " << (nl_.name().empty() ? "top" : nl_.name())
+        << " $end\n";
+  for (NetId id : nl_.net_ids()) {
+    const Net& n = nl_.net(id);
+    *vcd_ << "$var wire " << n.width << " n" << id.value() << ' ' << n.name << " $end\n";
+  }
+  *vcd_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void Simulator::write_vcd_cycle() {
+  *vcd_ << '#' << cycle_ * 10 << '\n';
+  for (std::size_t n = 0; n < value_.size(); ++n) {
+    if (has_prev_ && value_[n] == prev_[n]) continue;
+    const unsigned width = nl_.net(NetId{static_cast<std::uint32_t>(n)}).width;
+    if (width == 1) {
+      *vcd_ << (value_[n] & 1) << 'n' << n << '\n';
+    } else {
+      *vcd_ << 'b';
+      for (int b = static_cast<int>(width) - 1; b >= 0; --b) *vcd_ << ((value_[n] >> b) & 1);
+      *vcd_ << " n" << n << '\n';
+    }
+  }
+}
+
+void Simulator::run(Stimulus& stim, std::uint64_t cycles) {
+  if (vcd_ && !vcd_header_written_) {
+    write_vcd_header();
+    vcd_header_written_ = true;
+  }
+  for (std::uint64_t i = 0; i < cycles; ++i) {
+    for (CellId pi : nl_.primary_inputs()) {
+      const Cell& c = nl_.cell(pi);
+      value_[c.out.value()] = stim.next(nl_, pi, cycle_) & mask_[c.out.value()];
+    }
+    settle_combinational();
+    record_stats();
+    if (vcd_) write_vcd_cycle();
+    clock_registers();
+    prev_ = value_;
+    has_prev_ = true;
+    ++cycle_;
+  }
+}
+
+void Simulator::reset_stats() { stats_.reset(); }
+
+void Simulator::reset_state() {
+  std::fill(value_.begin(), value_.end(), 0);
+  std::fill(prev_.begin(), prev_.end(), 0);
+  std::fill(state_.begin(), state_.end(), 0);
+  has_prev_ = false;
+  cycle_ = 0;
+}
+
+std::uint64_t Simulator::net_value(NetId net) const {
+  OPISO_REQUIRE(net.valid() && net.value() < value_.size(), "net_value: invalid net");
+  return value_[net.value()];
+}
+
+}  // namespace opiso

@@ -1,0 +1,45 @@
+#pragma once
+// Strongly typed index wrappers.
+//
+// Netlists, BDD managers and expression pools are all index-based arenas;
+// mixing a CellId with a NetId is the classic EDA bug. StrongId<Tag> makes
+// each id a distinct type with no implicit conversions while remaining a
+// trivially copyable 32-bit value.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace opiso {
+
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+}  // namespace opiso
+
+namespace std {
+template <typename Tag>
+struct hash<opiso::StrongId<Tag>> {
+  size_t operator()(opiso::StrongId<Tag> id) const noexcept {
+    return std::hash<typename opiso::StrongId<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

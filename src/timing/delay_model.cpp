@@ -1,0 +1,49 @@
+#include "timing/delay_model.hpp"
+
+namespace opiso {
+
+double DelayModel::cell_delay(CellKind kind, unsigned width) const {
+  const double w = static_cast<double>(width);
+  switch (kind) {
+    case CellKind::PrimaryInput:
+    case CellKind::PrimaryOutput:
+    case CellKind::Constant:
+      return 0.0;
+    case CellKind::Add:
+    case CellKind::Sub:
+      // Ripple-carry-style: linear in width.
+      return 0.35 + 0.11 * w;
+    case CellKind::Mul:
+      return 0.60 + 0.22 * w;
+    case CellKind::Eq:
+    case CellKind::Lt:
+      return 0.30 + 0.05 * w;
+    case CellKind::Shl:
+    case CellKind::Shr:
+      return 0.05;  // constant shifts are wiring
+    case CellKind::Not:
+    case CellKind::Buf:
+      return 0.08;
+    case CellKind::And:
+    case CellKind::Or:
+    case CellKind::Nand:
+    case CellKind::Nor:
+      return 0.12;
+    case CellKind::Xor:
+    case CellKind::Xnor:
+      return 0.16;
+    case CellKind::Mux2:
+      return 0.18;
+    case CellKind::Reg:
+      return clk_to_q_ns;  // used on the Q side by the STA
+    case CellKind::Latch:
+    case CellKind::IsoLatch:
+      return 0.20;
+    case CellKind::IsoAnd:
+    case CellKind::IsoOr:
+      return 0.12;
+  }
+  return 0.0;
+}
+
+}  // namespace opiso

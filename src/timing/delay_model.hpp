@@ -1,0 +1,25 @@
+#pragma once
+// Per-kind delay model of the RT cell library.
+//
+// Stand-in for the synthesis system's timing engine the paper consults
+// (Sec. 5.1): datapath modules have width-dependent propagation delays,
+// gates have small fixed delays, and every fanout pin adds wire/input
+// load delay on the driving net — this last term is what makes the
+// activation logic's "increased capacitive loading on every signal used
+// in it" visible to the slack analysis.
+
+#include "netlist/cell.hpp"
+
+namespace opiso {
+
+struct DelayModel {
+  double clock_period_ns = 20.0;  ///< timing constraint
+  double clk_to_q_ns = 0.25;      ///< register output availability
+  double setup_ns = 0.20;         ///< required margin at register D
+  double load_per_fanout_ns = 0.02;
+
+  /// Intrinsic propagation delay of a cell (input pin to output).
+  [[nodiscard]] double cell_delay(CellKind kind, unsigned width) const;
+};
+
+}  // namespace opiso

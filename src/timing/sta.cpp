@@ -1,0 +1,91 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "netlist/traversal.hpp"
+
+namespace opiso {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool is_launch(CellKind kind) {
+  return kind == CellKind::Reg || kind == CellKind::PrimaryInput || kind == CellKind::Constant;
+}
+}  // namespace
+
+TimingReport run_sta(const Netlist& nl, const DelayModel& dm) {
+  TimingReport rep;
+  rep.arrival.assign(nl.num_nets(), 0.0);
+  rep.required.assign(nl.num_nets(), kInf);
+  rep.slack.assign(nl.num_nets(), kInf);
+
+  const std::vector<CellId> order = topological_order(nl);
+
+  // Forward: arrival times.
+  for (CellId id : order) {
+    const Cell& c = nl.cell(id);
+    if (!c.out.valid()) continue;
+    const double load =
+        dm.load_per_fanout_ns * static_cast<double>(nl.net(c.out).fanouts.size());
+    double arr = 0.0;
+    if (is_launch(c.kind)) {
+      arr = (c.kind == CellKind::Reg ? dm.clk_to_q_ns : 0.0);
+    } else {
+      double worst_in = 0.0;
+      for (NetId in : c.ins) worst_in = std::max(worst_in, rep.arrival[in.value()]);
+      arr = worst_in + dm.cell_delay(c.kind, c.width);
+    }
+    rep.arrival[c.out.value()] = arr + load;
+  }
+
+  // Backward: required times, seeded at capture points.
+  rep.critical_path_delay = 0.0;
+  for (CellId id : nl.cell_ids()) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::Reg) {
+      // D and EN pins must settle setup before the edge.
+      for (NetId in : c.ins) {
+        rep.required[in.value()] =
+            std::min(rep.required[in.value()], dm.clock_period_ns - dm.setup_ns);
+        rep.critical_path_delay = std::max(rep.critical_path_delay, rep.arrival[in.value()]);
+      }
+    } else if (c.kind == CellKind::PrimaryOutput) {
+      rep.required[c.ins[0].value()] =
+          std::min(rep.required[c.ins[0].value()], dm.clock_period_ns);
+      rep.critical_path_delay = std::max(rep.critical_path_delay, rep.arrival[c.ins[0].value()]);
+    }
+  }
+
+  // Propagate required times backward through combinational cells in
+  // reverse topological order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Cell& c = nl.cell(*it);
+    if (is_launch(c.kind) || c.kind == CellKind::PrimaryOutput || !c.out.valid()) continue;
+    const double load =
+        dm.load_per_fanout_ns * static_cast<double>(nl.net(c.out).fanouts.size());
+    const double req_out = rep.required[c.out.value()];
+    if (req_out == kInf) continue;  // dead logic
+    const double req_in = req_out - load - dm.cell_delay(c.kind, c.width);
+    for (NetId in : c.ins) {
+      rep.required[in.value()] = std::min(rep.required[in.value()], req_in);
+    }
+  }
+
+  rep.worst_slack = kInf;
+  for (std::size_t n = 0; n < rep.slack.size(); ++n) {
+    rep.slack[n] = rep.required[n] - rep.arrival[n];
+    rep.worst_slack = std::min(rep.worst_slack, rep.slack[n]);
+  }
+  if (rep.worst_slack == kInf) rep.worst_slack = dm.clock_period_ns;
+  return rep;
+}
+
+double cell_slack(const Netlist& nl, const TimingReport& rep, CellId cell) {
+  const Cell& c = nl.cell(cell);
+  if (c.out.valid()) return rep.slack[c.out.value()];
+  return rep.slack[c.ins.at(0).value()];
+}
+
+}  // namespace opiso

@@ -1,0 +1,39 @@
+#pragma once
+// Static timing analysis over the RT netlist.
+//
+// Forward pass computes the latest arrival time of every net (register
+// outputs launch at clk-to-q, primary inputs at 0); transparent latches
+// are analyzed as flow-through combinational elements (worst case).
+// Backward pass computes required times from the capture points
+// (register D pins at period − setup, primary outputs at period).
+// Slack of a net/cell is required − arrival; the design meets timing iff
+// worst_slack ≥ 0.
+//
+// The isolation algorithm consumes per-cell slack (candidate veto,
+// Algorithm 1 lines 5–9) and net arrival times (cheap pre-commit
+// estimate of the slack reduction an isolation bank would cause).
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "timing/delay_model.hpp"
+
+namespace opiso {
+
+struct TimingReport {
+  std::vector<double> arrival;   ///< per net (latest)
+  std::vector<double> required;  ///< per net (earliest requirement)
+  std::vector<double> slack;     ///< per net: required − arrival
+  double worst_slack = 0.0;
+  double critical_path_delay = 0.0;  ///< latest arrival at any capture point
+
+  [[nodiscard]] double net_arrival(NetId n) const { return arrival[n.value()]; }
+  [[nodiscard]] double net_slack(NetId n) const { return slack[n.value()]; }
+};
+
+[[nodiscard]] TimingReport run_sta(const Netlist& nl, const DelayModel& dm);
+
+/// Slack of a cell = slack of its output net (for sinks: of its input).
+[[nodiscard]] double cell_slack(const Netlist& nl, const TimingReport& rep, CellId cell);
+
+}  // namespace opiso

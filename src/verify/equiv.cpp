@@ -1,0 +1,165 @@
+#include "verify/equiv.hpp"
+
+#include <unordered_map>
+
+#include "lower/gate_level.hpp"
+#include "netlist/traversal.hpp"
+
+namespace opiso {
+
+namespace {
+
+bool has_latches(const Netlist& nl) {
+  for (CellId id : nl.cell_ids()) {
+    if (cell_kind_is_latch(nl.cell(id).kind)) return true;
+  }
+  return false;
+}
+
+/// Shared variable space across both designs, keyed by net name.
+struct VarSpace {
+  BddManager& mgr;
+  std::unordered_map<std::string, BoolVar> vars;
+
+  BddRef var_for(const std::string& name) {
+    auto [it, inserted] = vars.emplace(name, static_cast<BoolVar>(vars.size()));
+    (void)inserted;
+    return mgr.var(it->second);
+  }
+};
+
+/// BDD of every net of a lowered (all-1-bit) netlist, with PI bits and
+/// register output bits as variables.
+std::vector<BddRef> build_net_bdds(const Netlist& g, BddManager& mgr, VarSpace& space) {
+  std::vector<BddRef> fn(g.num_nets(), BddRef::invalid());
+  for (CellId id : topological_order(g)) {
+    const Cell& c = g.cell(id);
+    if (!c.out.valid()) continue;
+    BddRef f;
+    auto in = [&](int p) {
+      const BddRef r = fn[c.ins[static_cast<size_t>(p)].value()];
+      OPISO_ASSERT(r.valid(), "equiv: net evaluated before its driver");
+      return r;
+    };
+    switch (c.kind) {
+      case CellKind::PrimaryInput:
+      case CellKind::Reg:
+        f = space.var_for(g.net(c.out).name);
+        break;
+      case CellKind::Constant:
+        f = (c.param & 1) ? mgr.one() : mgr.zero();
+        break;
+      case CellKind::Buf:
+        f = in(0);
+        break;
+      case CellKind::Not:
+        f = mgr.bnot(in(0));
+        break;
+      case CellKind::And:
+        f = mgr.band(in(0), in(1));
+        break;
+      case CellKind::Or:
+        f = mgr.bor(in(0), in(1));
+        break;
+      case CellKind::Xor:
+        f = mgr.bxor(in(0), in(1));
+        break;
+      case CellKind::Nand:
+        f = mgr.bnot(mgr.band(in(0), in(1)));
+        break;
+      case CellKind::Nor:
+        f = mgr.bnot(mgr.bor(in(0), in(1)));
+        break;
+      case CellKind::Xnor:
+        f = mgr.bnot(mgr.bxor(in(0), in(1)));
+        break;
+      case CellKind::Mux2:
+        f = mgr.ite(in(0), in(2), in(1));
+        break;
+      default:
+        throw NetlistError("equiv: unexpected cell kind '" +
+                           std::string(cell_kind_name(c.kind)) + "' in lowered netlist");
+    }
+    fn[c.out.value()] = f;
+  }
+  return fn;
+}
+
+}  // namespace
+
+EquivResult check_isolation_equivalence(const Netlist& original, const Netlist& transformed) {
+  EquivResult res;
+  if (has_latches(original) || has_latches(transformed)) {
+    res.reason = "designs with latches have no single-cut combinational semantics; "
+                 "use the simulation-based lock-step check";
+    return res;
+  }
+
+  const GateLevelResult ga = lower_to_gates(original);
+  const GateLevelResult gb = lower_to_gates(transformed);
+
+  BddManager mgr;
+  VarSpace space{mgr, {}};
+  const std::vector<BddRef> fa = build_net_bdds(ga.netlist, mgr, space);
+  const std::vector<BddRef> fb = build_net_bdds(gb.netlist, mgr, space);
+
+  // --- register obligations, matched by bit-net name -------------------
+  std::unordered_map<std::string, CellId> regs_b;
+  for (CellId id : gb.netlist.cell_ids()) {
+    const Cell& c = gb.netlist.cell(id);
+    if (c.kind == CellKind::Reg) regs_b.emplace(gb.netlist.net(c.out).name, id);
+  }
+  std::size_t matched = 0;
+  for (CellId id : ga.netlist.cell_ids()) {
+    const Cell& ca = ga.netlist.cell(id);
+    if (ca.kind != CellKind::Reg) continue;
+    const std::string& name = ga.netlist.net(ca.out).name;
+    auto it = regs_b.find(name);
+    if (it == regs_b.end()) {
+      res.reason = "register bit '" + name + "' missing from transformed design";
+      return res;
+    }
+    ++matched;
+    const Cell& cb = gb.netlist.cell(it->second);
+    const BddRef en_a = fa[ca.ins[1].value()];
+    const BddRef en_b = fb[cb.ins[1].value()];
+    ++res.obligations_checked;
+    if (!mgr.equal(en_a, en_b)) {
+      res.reason = "enable functions differ for register bit '" + name + "'";
+      return res;
+    }
+    const BddRef d_a = fa[ca.ins[0].value()];
+    const BddRef d_b = fb[cb.ins[0].value()];
+    ++res.obligations_checked;
+    if (!mgr.is_zero(mgr.band(en_a, mgr.bxor(d_a, d_b)))) {
+      res.reason = "register bit '" + name + "' can load a different value while enabled";
+      return res;
+    }
+  }
+  if (matched != regs_b.size()) {
+    res.reason = "transformed design has extra registers";
+    return res;
+  }
+
+  // --- primary outputs, by position ------------------------------------
+  if (ga.netlist.primary_outputs().size() != gb.netlist.primary_outputs().size()) {
+    res.reason = "primary output counts differ";
+    return res;
+  }
+  for (std::size_t i = 0; i < ga.netlist.primary_outputs().size(); ++i) {
+    const NetId na = ga.netlist.cell(ga.netlist.primary_outputs()[i]).ins[0];
+    const NetId nb = gb.netlist.cell(gb.netlist.primary_outputs()[i]).ins[0];
+    ++res.obligations_checked;
+    if (!mgr.equal(fa[na.value()], fb[nb.value()])) {
+      res.reason = "primary output bit " + std::to_string(i) + " ('" +
+                   ga.netlist.net(na).name + "') differs";
+      return res;
+    }
+  }
+
+  res.equivalent = true;
+  res.bdd_nodes = mgr.num_nodes();
+  return res;
+}
+
+}  // namespace opiso

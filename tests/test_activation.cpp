@@ -1,0 +1,200 @@
+// Tests for the activation-function derivation (Sec. 3). The fig1 cases
+// check the exact functions the paper prints; BDD equivalence is used so
+// the tests do not depend on factoring choices.
+#include <gtest/gtest.h>
+
+#include "boolfn/bdd.hpp"
+#include "designs/designs.hpp"
+#include "isolation/activation.hpp"
+
+namespace opiso {
+namespace {
+
+struct Derived {
+  Netlist nl;
+  ExprPool pool;
+  NetVarMap vars;
+  ActivationAnalysis aa;
+
+  explicit Derived(Netlist design) : nl(std::move(design)) {
+    aa = derive_activation(nl, pool, vars);
+  }
+  ExprRef f(const std::string& net) { return aa.activation_of(nl, nl.net(nl.find_net(net)).driver); }
+  ExprRef v(const std::string& net) { return pool.var(vars.var_of(nl, nl.find_net(net))); }
+  bool equivalent(ExprRef a, ExprRef b) {
+    BddManager m;
+    return m.equal(m.from_expr(pool, a), m.from_expr(pool, b));
+  }
+};
+
+TEST(Activation, Fig1AdderA0IsG0) {
+  Derived d(make_fig1(8));
+  // AS_a0 = G0 — the paper's first derived activation signal.
+  EXPECT_TRUE(d.equivalent(d.f("a0"), d.v("G0")));
+}
+
+TEST(Activation, Fig1AdderA1MatchesPaper) {
+  Derived d(make_fig1(8));
+  // AS_a1 = S2·G1 + S1·!S0·G0.
+  const ExprRef expected = d.pool.lor(
+      d.pool.land(d.v("S2"), d.v("G1")),
+      d.pool.land(d.v("S1"), d.pool.land(d.pool.lnot(d.v("S0")), d.v("G0"))));
+  EXPECT_TRUE(d.equivalent(d.f("a1"), expected))
+      << "derived: " << activation_to_string(d.nl, d.pool, d.vars, d.f("a1"));
+}
+
+TEST(Activation, Fig1PrintsPaperFormula) {
+  Derived d(make_fig1(8));
+  const std::string s = activation_to_string(d.nl, d.pool, d.vars, d.f("a1"));
+  // Factored form mentions all five control signals once.
+  for (const char* sig : {"S0", "S1", "S2", "G0", "G1"}) {
+    EXPECT_NE(s.find(sig), std::string::npos) << s;
+  }
+}
+
+TEST(Activation, PrimaryOutputIsAlwaysObserved) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId s = nl.add_binop(CellKind::Add, "s", a, b);
+  nl.add_output("o", s);
+  Derived d(std::move(nl));
+  EXPECT_TRUE(d.pool.is_const1(d.f("s")));
+}
+
+TEST(Activation, ConstantEnableFoldsToConstant) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId one = nl.add_const("one", 1, 1);
+  NetId zero = nl.add_const("zero", 0, 1);
+  NetId s1 = nl.add_binop(CellKind::Add, "s1", a, b);
+  NetId s2 = nl.add_binop(CellKind::Sub, "s2", a, b);
+  NetId r1 = nl.add_reg("r1", s1, one);
+  NetId r2 = nl.add_reg("r2", s2, zero);
+  nl.add_output("o1", r1);
+  nl.add_output("o2", r2);
+  Derived d(std::move(nl));
+  EXPECT_TRUE(d.pool.is_const1(d.f("s1")));  // always loaded
+  EXPECT_TRUE(d.pool.is_const0(d.f("s2")));  // dead: never loaded
+}
+
+TEST(Activation, MuxFansObservabilityBySelectPolarity) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId sel = nl.add_input("sel", 1);
+  NetId s1 = nl.add_binop(CellKind::Add, "s1", a, b);
+  NetId s2 = nl.add_binop(CellKind::Sub, "s2", a, b);
+  NetId m = nl.add_mux2("m", sel, s1, s2);
+  nl.add_output("o", m);
+  Derived d(std::move(nl));
+  EXPECT_TRUE(d.equivalent(d.f("s1"), d.pool.lnot(d.v("sel"))));
+  EXPECT_TRUE(d.equivalent(d.f("s2"), d.v("sel")));
+}
+
+TEST(Activation, GateSideInputRefinement) {
+  // obs through a 1-bit AND requires the side input at 1; through an OR
+  // at 0 (controlling values — Sec. 3's degenerated-multiplexor rule).
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId side = nl.add_input("side", 1);
+  NetId en = nl.add_input("en", 1);
+  NetId cmp = nl.add_binop(CellKind::Lt, "cmp", a, b);  // 1-bit arithlike
+  NetId gated = nl.add_binop(CellKind::And, "gated", cmp, side);
+  NetId r = nl.add_reg("r", gated, en);
+  nl.add_output("o", r);
+  Derived d(std::move(nl));
+  // cmp is not an Add/Sub/Mul candidate, but its observability function
+  // is still derived: side & en.
+  EXPECT_TRUE(d.equivalent(d.f("cmp"), d.pool.land(d.v("side"), d.v("en"))));
+}
+
+TEST(Activation, OrGateUsesComplementedSideInput) {
+  Netlist nl;
+  NetId x = nl.add_input("x", 1);
+  NetId side = nl.add_input("side", 1);
+  NetId en = nl.add_input("en", 1);
+  NetId g = nl.add_binop(CellKind::Or, "g", x, side);
+  NetId r = nl.add_reg("r", g, en);
+  nl.add_output("o", r);
+  Derived d(std::move(nl));
+  EXPECT_TRUE(d.equivalent(d.aa.obs[d.nl.find_net("x").value()],
+                           d.pool.land(d.pool.lnot(d.v("side")), d.v("en"))));
+}
+
+TEST(Activation, LatchGatesObservabilityByEnable) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId le = nl.add_input("le", 1);
+  NetId s = nl.add_binop(CellKind::Add, "s", a, b);
+  NetId l = nl.add_latch("l", s, le);
+  nl.add_output("o", l);
+  Derived d(std::move(nl));
+  EXPECT_TRUE(d.equivalent(d.f("s"), d.v("le")));
+}
+
+TEST(Activation, MultipleFanoutsOrTogether) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId e1 = nl.add_input("e1", 1);
+  NetId e2 = nl.add_input("e2", 1);
+  NetId s = nl.add_binop(CellKind::Add, "s", a, b);
+  NetId r1 = nl.add_reg("r1", s, e1);
+  NetId r2 = nl.add_reg("r2", s, e2);
+  nl.add_output("o1", r1);
+  nl.add_output("o2", r2);
+  Derived d(std::move(nl));
+  EXPECT_TRUE(d.equivalent(d.f("s"), d.pool.lor(d.v("e1"), d.v("e2"))));
+}
+
+TEST(Activation, Design1Stage1IsAct) {
+  Derived d(make_design1(8));
+  EXPECT_TRUE(d.equivalent(d.f("mul1"), d.v("act")));
+  EXPECT_TRUE(d.equivalent(d.f("add1"), d.v("act")));
+}
+
+TEST(Activation, Design1Stage2Functions) {
+  Derived d(make_design1(8));
+  // add2 observed via mux_a (sel=0) -> add3 -> mux_b (g2=1) -> reg (g1).
+  const ExprRef exp_add2 =
+      d.pool.land(d.pool.lnot(d.v("sel")), d.pool.land(d.v("g2"), d.v("g1")));
+  EXPECT_TRUE(d.equivalent(d.f("add2"), exp_add2));
+  const ExprRef exp_sub2 = d.pool.land(d.v("sel"), d.pool.land(d.v("g2"), d.v("g1")));
+  EXPECT_TRUE(d.equivalent(d.f("sub2"), exp_sub2));
+  EXPECT_TRUE(d.equivalent(d.f("add3"), d.pool.land(d.v("g2"), d.v("g1"))));
+  EXPECT_TRUE(d.equivalent(d.f("mul2"), d.pool.land(d.pool.lnot(d.v("sel")), d.v("g2"))));
+}
+
+TEST(Activation, Design2PhaseDecodedFunctions) {
+  Derived d(make_design2(8, 1));
+  // Accumulator adder and multiplier observed iff the acc reg loads.
+  EXPECT_TRUE(d.equivalent(d.f("l0_sum"), d.v("en_acc")));
+  EXPECT_TRUE(d.equivalent(d.f("l0_mul"), d.v("en_acc")));
+  // Subtractor observed iff the write-back phase steers it into the
+  // output register.
+  EXPECT_TRUE(d.equivalent(d.f("l0_sub"), d.v("ph_wr")));
+}
+
+TEST(Activation, IsolationCellBlocksObservability) {
+  // Once a bank is inserted, the data input upstream of the bank is
+  // observable only when AS = 1.
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId as = nl.add_input("as", 1);
+  NetId en = nl.add_input("en", 1);
+  NetId blk = nl.add_iso(CellKind::IsoAnd, "blk", a, as);
+  NetId s = nl.add_binop(CellKind::Add, "s", blk, b);
+  NetId r = nl.add_reg("r", s, en);
+  nl.add_output("o", r);
+  Derived d(std::move(nl));
+  EXPECT_TRUE(d.equivalent(d.aa.obs[d.nl.find_net("a").value()],
+                           d.pool.land(d.v("as"), d.v("en"))));
+}
+
+}  // namespace
+}  // namespace opiso

@@ -1,0 +1,172 @@
+// Tests for the hash-consed expression pool: simplification rules,
+// evaluation, support, literal counting, substitution and printing.
+#include <gtest/gtest.h>
+
+#include "boolfn/expr.hpp"
+#include "support/rng.hpp"
+
+namespace opiso {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprPool p;
+  ExprRef v0 = p.var(0);
+  ExprRef v1 = p.var(1);
+  ExprRef v2 = p.var(2);
+};
+
+TEST_F(ExprTest, ConstantsAreFixedPoints) {
+  EXPECT_EQ(p.lnot(p.const0()), p.const1());
+  EXPECT_EQ(p.lnot(p.const1()), p.const0());
+  EXPECT_EQ(p.land(v0, p.const1()), v0);
+  EXPECT_EQ(p.land(v0, p.const0()), p.const0());
+  EXPECT_EQ(p.lor(v0, p.const0()), v0);
+  EXPECT_EQ(p.lor(v0, p.const1()), p.const1());
+}
+
+TEST_F(ExprTest, IdempotenceAndComplement) {
+  EXPECT_EQ(p.land(v0, v0), v0);
+  EXPECT_EQ(p.lor(v0, v0), v0);
+  EXPECT_EQ(p.land(v0, p.lnot(v0)), p.const0());
+  EXPECT_EQ(p.lor(v0, p.lnot(v0)), p.const1());
+  EXPECT_EQ(p.lnot(p.lnot(v0)), v0);
+}
+
+TEST_F(ExprTest, HashConsingSharesStructure) {
+  ExprRef a = p.land(v0, v1);
+  ExprRef b = p.land(v1, v0);  // canonical operand order
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ExprTest, EvalMatchesTruthTable) {
+  // f = v0·v1 + !v2
+  ExprRef f = p.lor(p.land(v0, v1), p.lnot(v2));
+  for (int m = 0; m < 8; ++m) {
+    const bool b0 = m & 1, b1 = m & 2, b2 = m & 4;
+    const bool expect = (b0 && b1) || !b2;
+    EXPECT_EQ(p.eval(f, [&](BoolVar v) { return v == 0 ? b0 : v == 1 ? b1 : b2; }), expect);
+  }
+}
+
+TEST_F(ExprTest, SupportIsSortedAndDeduplicated) {
+  ExprRef f = p.lor(p.land(v2, v0), p.land(v0, v1));
+  const auto sup = p.support(f);
+  ASSERT_EQ(sup.size(), 3u);
+  EXPECT_EQ(sup[0], 0u);
+  EXPECT_EQ(sup[1], 1u);
+  EXPECT_EQ(sup[2], 2u);
+  EXPECT_TRUE(p.support(p.const1()).empty());
+}
+
+TEST_F(ExprTest, LiteralCountFactoredForm) {
+  // S2·G1 + S1·!S0·G0 has 5 literals.
+  ExprRef f = p.lor(p.land(v0, v1), p.land(v2, p.land(p.lnot(p.var(3)), p.var(4))));
+  EXPECT_EQ(p.literal_count(f), 5u);
+  // A negated variable counts as one literal, not two nodes.
+  EXPECT_EQ(p.literal_count(p.lnot(v0)), 1u);
+  EXPECT_EQ(p.literal_count(p.const1()), 0u);
+}
+
+TEST_F(ExprTest, GateCountCountsOperators) {
+  ExprRef f = p.lor(p.land(v0, v1), v2);
+  EXPECT_EQ(p.gate_count(f), 2u);  // one AND, one OR
+  EXPECT_EQ(p.gate_count(v0), 0u);
+}
+
+TEST_F(ExprTest, SubstituteReplacesVariable) {
+  ExprRef f = p.lor(p.land(v0, v1), v2);
+  ExprRef g = p.substitute(f, 0, p.const1());
+  EXPECT_EQ(g, p.lor(v1, v2));
+  ExprRef h = p.substitute(f, 0, p.const0());
+  EXPECT_EQ(h, v2);
+}
+
+TEST_F(ExprTest, SubstituteWithExpression) {
+  ExprRef f = p.land(v0, v1);
+  ExprRef g = p.substitute(f, 0, p.lor(v1, v2));
+  // (v1 | v2) & v1 = ... evaluate to check equivalence on all minterms.
+  for (int m = 0; m < 8; ++m) {
+    const bool b1 = m & 2, b2 = m & 4;
+    const bool expect = (b1 || b2) && b1;
+    EXPECT_EQ(p.eval(g, [&](BoolVar v) { return v == 1 ? b1 : v == 2 ? b2 : false; }), expect);
+  }
+}
+
+TEST_F(ExprTest, ToStringReadable) {
+  ExprRef f = p.lor(p.land(v1, v0), p.lnot(v2));
+  auto name = [](BoolVar v) { return std::string(1, static_cast<char>('a' + v)); };
+  const std::string s = p.to_string(f, name);
+  EXPECT_NE(s.find('&'), std::string::npos);
+  EXPECT_NE(s.find('|'), std::string::npos);
+  EXPECT_NE(s.find("!c"), std::string::npos);
+}
+
+TEST_F(ExprTest, IteExpandsCorrectly) {
+  ExprRef f = p.ite(v0, v1, v2);
+  for (int m = 0; m < 8; ++m) {
+    const bool b0 = m & 1, b1 = m & 2, b2 = m & 4;
+    EXPECT_EQ(p.eval(f, [&](BoolVar v) { return v == 0 ? b0 : v == 1 ? b1 : b2; }),
+              b0 ? b1 : b2);
+  }
+}
+
+// Property: random expressions simplify without changing semantics.
+TEST(ExprProperty, RandomBuildsPreserveSemantics) {
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    ExprPool p;
+    constexpr int kVars = 5;
+    // Build a random expression tree and, in parallel, a reference
+    // evaluator structure (captured truth table over 2^5 minterms).
+    std::vector<ExprRef> stack;
+    std::vector<std::uint32_t> truth;  // bitmask over 32 minterms
+    auto var_truth = [](BoolVar v) {
+      std::uint32_t t = 0;
+      for (int m = 0; m < 32; ++m) {
+        if (m & (1 << v)) t |= (1u << m);
+      }
+      return t;
+    };
+    for (int i = 0; i < 12; ++i) {
+      const int op = static_cast<int>(rng.next_range(0, 3));
+      if (op == 0 || stack.size() < 2) {
+        const BoolVar v = static_cast<BoolVar>(rng.next_range(0, kVars - 1));
+        stack.push_back(p.var(v));
+        truth.push_back(var_truth(v));
+      } else if (op == 1) {
+        ExprRef a = stack.back();
+        stack.pop_back();
+        std::uint32_t ta = truth.back();
+        truth.pop_back();
+        stack.push_back(p.lnot(a));
+        truth.push_back(~ta);
+      } else {
+        ExprRef a = stack.back();
+        stack.pop_back();
+        ExprRef b = stack.back();
+        stack.pop_back();
+        std::uint32_t ta = truth.back();
+        truth.pop_back();
+        std::uint32_t tb = truth.back();
+        truth.pop_back();
+        if (op == 2) {
+          stack.push_back(p.land(a, b));
+          truth.push_back(ta & tb);
+        } else {
+          stack.push_back(p.lor(a, b));
+          truth.push_back(ta | tb);
+        }
+      }
+    }
+    const ExprRef f = stack.back();
+    const std::uint32_t tf = truth.back();
+    for (int m = 0; m < 32; ++m) {
+      const bool expect = (tf >> m) & 1;
+      EXPECT_EQ(p.eval(f, [&](BoolVar v) { return (m >> v) & 1; }), expect) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace opiso

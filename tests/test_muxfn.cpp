@@ -1,0 +1,138 @@
+// Tests for multiplexing-function derivation (Sec. 4.1): fanin networks
+// with g^k conditions and fanout-candidate discovery.
+#include <gtest/gtest.h>
+
+#include "boolfn/bdd.hpp"
+#include "designs/designs.hpp"
+#include "isolation/activation.hpp"
+#include "isolation/muxfn.hpp"
+
+namespace opiso {
+namespace {
+
+struct Ctx {
+  Netlist nl;
+  ExprPool pool;
+  NetVarMap vars;
+
+  explicit Ctx(Netlist design) : nl(std::move(design)) {}
+  CellId cell(const std::string& out_net) { return nl.net(nl.find_net(out_net)).driver; }
+  ExprRef v(const std::string& net) { return pool.var(vars.var_of(nl, nl.find_net(net))); }
+  bool equivalent(ExprRef a, ExprRef b) {
+    BddManager m;
+    return m.equal(m.from_expr(pool, a), m.from_expr(pool, b));
+  }
+  CandidatePredicate arith_pred() {
+    return [this](CellId id) { return cell_kind_is_arith(nl.cell(id).kind); };
+  }
+};
+
+TEST(MuxFn, Fig1FaninOfA0MatchesPaper) {
+  Ctx c(make_fig1(8));
+  // Input A (port 0) of a0 is fed by a1 through m0/m1: g = S1·!S0.
+  const FaninNetwork fan =
+      derive_fanin_network(c.nl, c.pool, c.vars, c.cell("a0"), 0, c.arith_pred());
+  ASSERT_EQ(fan.candidates.size(), 1u);
+  EXPECT_EQ(fan.candidates[0].candidate, c.cell("a1"));
+  EXPECT_TRUE(c.equivalent(fan.candidates[0].condition,
+                           c.pool.land(c.v("S1"), c.pool.lnot(c.v("S0")))));
+  // The same muxes can also steer C or E (primary inputs) to the pin.
+  EXPECT_TRUE(fan.has_noncandidate_source);
+}
+
+TEST(MuxFn, Fig1FaninPortBHasNoCandidates) {
+  Ctx c(make_fig1(8));
+  const FaninNetwork fan =
+      derive_fanin_network(c.nl, c.pool, c.vars, c.cell("a0"), 1, c.arith_pred());
+  EXPECT_TRUE(fan.candidates.empty());
+  EXPECT_TRUE(fan.has_noncandidate_source);
+}
+
+TEST(MuxFn, Fig1FanoutOfA1ReachesA0) {
+  Ctx c(make_fig1(8));
+  const auto fanouts = derive_fanout_candidates(c.nl, c.pool, c.vars, c.cell("a1"),
+                                                c.arith_pred());
+  ASSERT_EQ(fanouts.size(), 1u);
+  EXPECT_EQ(fanouts[0].candidate, c.cell("a0"));
+  EXPECT_EQ(fanouts[0].port, 0);
+  EXPECT_TRUE(c.equivalent(fanouts[0].condition,
+                           c.pool.land(c.v("S1"), c.pool.lnot(c.v("S0")))));
+}
+
+TEST(MuxFn, DirectConnectionHasConditionOne) {
+  // c_i directly wired into c_j (Fig. 3 of the paper): g = 1.
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId en = nl.add_input("en", 1);
+  NetId s1 = nl.add_binop(CellKind::Add, "s1", a, b);
+  NetId s2 = nl.add_binop(CellKind::Add, "s2", s1, b);
+  NetId r = nl.add_reg("r", s2, en);
+  nl.add_output("o", r);
+  Ctx c(std::move(nl));
+  const auto fanouts =
+      derive_fanout_candidates(c.nl, c.pool, c.vars, c.cell("s1"), c.arith_pred());
+  ASSERT_EQ(fanouts.size(), 1u);
+  EXPECT_TRUE(c.pool.is_const1(fanouts[0].condition));
+  EXPECT_EQ(fanouts[0].port, 0);
+}
+
+TEST(MuxFn, ParallelPathsOrTheirConditions) {
+  // s1 reaches the consumer through both mux legs -> g = !sel + sel = 1.
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId sel = nl.add_input("sel", 1);
+  NetId en = nl.add_input("en", 1);
+  NetId s1 = nl.add_binop(CellKind::Add, "s1", a, b);
+  NetId m = nl.add_mux2("m", sel, s1, s1);
+  NetId s2 = nl.add_binop(CellKind::Add, "s2", m, b);
+  NetId r = nl.add_reg("r", s2, en);
+  nl.add_output("o", r);
+  Ctx c(std::move(nl));
+  const auto fanouts =
+      derive_fanout_candidates(c.nl, c.pool, c.vars, c.cell("s1"), c.arith_pred());
+  ASSERT_EQ(fanouts.size(), 1u);
+  EXPECT_TRUE(c.pool.is_const1(fanouts[0].condition));
+}
+
+TEST(MuxFn, StopsAtCandidatesInBetween) {
+  // s1 -> s2 -> s3: fanout of s1 reports only s2 (paths terminate at the
+  // first candidate; s3's exposure is s2's business).
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId en = nl.add_input("en", 1);
+  NetId s1 = nl.add_binop(CellKind::Add, "s1", a, b);
+  NetId s2 = nl.add_binop(CellKind::Add, "s2", s1, b);
+  NetId s3 = nl.add_binop(CellKind::Add, "s3", s2, b);
+  NetId r = nl.add_reg("r", s3, en);
+  nl.add_output("o", r);
+  Ctx c(std::move(nl));
+  const auto fanouts =
+      derive_fanout_candidates(c.nl, c.pool, c.vars, c.cell("s1"), c.arith_pred());
+  ASSERT_EQ(fanouts.size(), 1u);
+  EXPECT_EQ(fanouts[0].candidate, c.cell("s2"));
+}
+
+TEST(MuxFn, FanoutThroughRegistersIsCut) {
+  // Sequential boundary: fanout candidates behind a register are not
+  // reported (the f+_r = 1 cut).
+  Netlist nl = make_design1(8);
+  Ctx c(std::move(nl));
+  const auto fanouts =
+      derive_fanout_candidates(c.nl, c.pool, c.vars, c.cell("mul1"), c.arith_pred());
+  EXPECT_TRUE(fanouts.empty());
+}
+
+TEST(MuxFn, Design1Add2FeedsAdd3) {
+  Ctx c(make_design1(8));
+  const auto fanouts =
+      derive_fanout_candidates(c.nl, c.pool, c.vars, c.cell("add2"), c.arith_pred());
+  ASSERT_EQ(fanouts.size(), 1u);
+  EXPECT_EQ(fanouts[0].candidate, c.cell("add3"));
+  EXPECT_TRUE(c.equivalent(fanouts[0].condition, c.pool.lnot(c.v("sel"))));
+}
+
+}  // namespace
+}  // namespace opiso

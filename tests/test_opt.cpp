@@ -1,0 +1,192 @@
+// Tests for the optimization passes: each rewrite family plus the
+// global property that optimization never changes observed behavior.
+#include <gtest/gtest.h>
+
+#include "designs/designs.hpp"
+#include "opt/passes.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace opiso {
+namespace {
+
+TEST(Opt, FoldsConstantArithmetic) {
+  Netlist nl;
+  NetId a = nl.add_const("a", 20, 8);
+  NetId b = nl.add_const("b", 22, 8);
+  NetId sum = nl.add_binop(CellKind::Add, "sum", a, b);
+  nl.add_output("o", sum);
+  OptimizeStats stats;
+  const Netlist o = optimize(nl, {}, &stats);
+  EXPECT_EQ(stats.folded_constants, 1u);
+  // The PO is fed by a constant-42 cell.
+  const Cell& po = o.cell(o.primary_outputs()[0]);
+  const Cell& drv = o.cell(o.net(po.ins[0]).driver);
+  EXPECT_EQ(drv.kind, CellKind::Constant);
+  EXPECT_EQ(drv.param, 42u);
+}
+
+TEST(Opt, FoldsThroughChains) {
+  Netlist nl;
+  NetId a = nl.add_const("a", 3, 8);
+  NetId b = nl.add_const("b", 5, 8);
+  NetId p = nl.add_binop(CellKind::Mul, "p", a, b);     // 15, width 16
+  NetId s = nl.add_shift(CellKind::Shl, "s", p, 2);     // 60
+  NetId n = nl.add_unop(CellKind::Not, "n", s);
+  nl.add_output("o", n);
+  OptimizeStats stats;
+  const Netlist o = optimize(nl, {}, &stats);
+  EXPECT_EQ(stats.folded_constants, 3u);
+  const Cell& drv = o.cell(o.net(o.cell(o.primary_outputs()[0]).ins[0]).driver);
+  EXPECT_EQ(drv.param, (~std::uint64_t{60}) & 0xFFFF);
+}
+
+TEST(Opt, SimplifiesGateIdentities) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId zero = nl.add_const("zero", 0, 8);
+  NetId ones = nl.add_const("ones", 0xFF, 8);
+  NetId and1 = nl.add_binop(CellKind::And, "and1", a, ones);  // -> a
+  NetId or1 = nl.add_binop(CellKind::Or, "or1", and1, zero);  // -> a
+  NetId add1 = nl.add_binop(CellKind::Add, "add1", or1, zero);  // -> a
+  nl.add_output("o", add1);
+  OptimizeStats stats;
+  const Netlist o = optimize(nl, {}, &stats);
+  EXPECT_GE(stats.simplified, 3u);
+  // Output is driven directly by the primary input.
+  const Cell& po = o.cell(o.primary_outputs()[0]);
+  EXPECT_EQ(o.cell(o.net(po.ins[0]).driver).kind, CellKind::PrimaryInput);
+}
+
+TEST(Opt, FoldsMuxWithConstantSelect) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId sel = nl.add_const("sel", 1, 1);
+  NetId m = nl.add_mux2("m", sel, a, b);
+  nl.add_output("o", m);
+  const Netlist o = optimize(nl);
+  const Cell& po = o.cell(o.primary_outputs()[0]);
+  EXPECT_EQ(o.net(po.ins[0]).name, "b");  // sel = 1 selects the B leg
+}
+
+TEST(Opt, BypassesBuffersAndDoubleNegation) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 4);
+  NetId b1 = nl.add_unop(CellKind::Buf, "b1", a);
+  NetId n1 = nl.add_unop(CellKind::Not, "n1", b1);
+  NetId n2 = nl.add_unop(CellKind::Not, "n2", n1);
+  nl.add_output("o", n2);
+  const Netlist o = optimize(nl);
+  const Cell& po = o.cell(o.primary_outputs()[0]);
+  EXPECT_EQ(o.cell(o.net(po.ins[0]).driver).kind, CellKind::PrimaryInput);
+}
+
+TEST(Opt, CseMergesIdenticalCells) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId s1 = nl.add_binop(CellKind::Add, "s1", a, b);
+  NetId s2 = nl.add_binop(CellKind::Add, "s2", a, b);  // identical
+  NetId x = nl.add_binop(CellKind::Xor, "x", s1, s2);  // -> const 0
+  nl.add_output("o", x);
+  OptimizeStats stats;
+  const Netlist o = optimize(nl, {}, &stats);
+  EXPECT_EQ(stats.cse_merged, 1u);
+  const Cell& drv = o.cell(o.net(o.cell(o.primary_outputs()[0]).ins[0]).driver);
+  EXPECT_EQ(drv.kind, CellKind::Constant);
+  EXPECT_EQ(drv.param, 0u);
+}
+
+TEST(Opt, RemovesDeadLogic) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId live = nl.add_binop(CellKind::Add, "live", a, b);
+  nl.add_binop(CellKind::Mul, "dead_mul", a, b);  // unconnected
+  NetId en = nl.add_input("en", 1);
+  nl.add_reg("dead_reg", live, en);               // state never observed
+  nl.add_output("o", live);
+  OptimizeStats stats;
+  const Netlist o = optimize(nl, {}, &stats);
+  EXPECT_EQ(stats.dead_removed, 2u);
+  EXPECT_FALSE(o.find_net("dead_mul").valid());
+  EXPECT_FALSE(o.find_net("dead_reg").valid());
+  // Interface (all PIs, the PO) is preserved.
+  EXPECT_EQ(o.primary_inputs().size(), nl.primary_inputs().size());
+}
+
+TEST(Opt, TransparentIsolationCellFoldsAway) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId one = nl.add_const("one", 1, 1);
+  NetId blk = nl.add_iso(CellKind::IsoAnd, "blk", a, one);
+  NetId sum = nl.add_binop(CellKind::Add, "sum", blk, b);
+  nl.add_output("o", sum);
+  const Netlist o = optimize(nl);
+  const Cell& adder = o.cell(o.net(o.find_net("sum")).driver);
+  EXPECT_EQ(o.net(adder.ins[0]).name, "a");
+}
+
+TEST(Opt, KeepsRegisterFeedbackLoops) {
+  Netlist nl;
+  NetId one = nl.add_const("one", 1, 1);
+  NetId d0 = nl.add_const("d0", 0, 8);
+  NetId acc = nl.add_reg("acc", d0, one);
+  NetId in = nl.add_input("in", 8);
+  NetId sum = nl.add_binop(CellKind::Add, "sum", acc, in);
+  nl.reconnect_input(nl.net(acc).driver, 0, sum);
+  nl.add_output("o", acc);
+  const Netlist o = optimize(nl);
+  // Behavior preserved: accumulate 3 times.
+  Simulator sim(o);
+  ConstantStimulus stim;
+  stim.set("in", 7);
+  sim.run(stim, 4);
+  EXPECT_EQ(sim.net_value(o.find_net("acc")), 21u);
+}
+
+class OptEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OptEquivalence, OptimizedDesignIsObservablyEquivalent) {
+  Netlist nl;
+  const std::string which = GetParam();
+  if (which == "fig1") nl = make_fig1(8);
+  if (which == "design1") nl = make_design1(8);
+  if (which == "design2") nl = make_design2(8, 2);
+  if (which == "parametric") nl = make_parametric_datapath({3, 3, 7, true});
+  const Netlist o = optimize(nl);
+  EXPECT_LE(o.num_cells(), nl.num_cells());
+  testutil::expect_observably_equivalent(nl, o, 0xBEEF, 2500);
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, OptEquivalence,
+                         ::testing::Values("fig1", "design1", "design2", "parametric"));
+
+TEST(Opt, IdempotentOnBenchmarks) {
+  const Netlist nl = make_design2(8, 2);
+  OptimizeStats s1, s2;
+  const Netlist once = optimize(nl, {}, &s1);
+  const Netlist twice = optimize(once, {}, &s2);
+  EXPECT_EQ(s2.folded_constants, 0u);
+  EXPECT_EQ(s2.cse_merged, 0u);
+  EXPECT_LE(twice.num_cells(), once.num_cells());
+}
+
+TEST(Opt, DisabledPassesDoNothing) {
+  Netlist nl;
+  NetId a = nl.add_const("a", 1, 8);
+  NetId b = nl.add_const("b", 2, 8);
+  NetId sum = nl.add_binop(CellKind::Add, "sum", a, b);
+  nl.add_output("o", sum);
+  OptimizeOptions off;
+  off.constant_fold = off.simplify = off.cse = off.dead_code_elim = false;
+  OptimizeStats stats;
+  const Netlist o = optimize(nl, off, &stats);
+  EXPECT_EQ(stats.folded_constants, 0u);
+  EXPECT_EQ(o.num_cells(), nl.num_cells());
+}
+
+}  // namespace
+}  // namespace opiso

@@ -1,0 +1,161 @@
+// Tests for control-FSM extraction, reachability enumeration and
+// don't-care-based activation minimization.
+#include <gtest/gtest.h>
+
+#include "boolfn/bdd.hpp"
+#include "designs/designs.hpp"
+#include "fsm/reachability.hpp"
+#include "isolation/activation.hpp"
+#include "isolation/algorithm.hpp"
+#include "isolation/transform.hpp"
+#include "test_util.hpp"
+
+namespace opiso {
+namespace {
+
+TEST(Reachability, ExtractsDesign2Counter) {
+  const Netlist nl = make_design2(8, 1);
+  const ControlSpace space = explore_control_space(nl);
+  ASSERT_TRUE(space.tractable);
+  // The 3-bit state counter is the design's only control state.
+  EXPECT_EQ(space.state_regs.size(), 3u);
+  // `start` is the only control input.
+  ASSERT_EQ(space.input_nets.size(), 1u);
+  EXPECT_EQ(nl.net(space.input_nets[0]).name, "start");
+  // The Gray-free binary counter reaches all 8 states.
+  EXPECT_EQ(space.reachable.size(), 8u);
+}
+
+TEST(Reachability, CounterWithUnreachableStates) {
+  // Cross-coupled swap register (s0 <- s1, s1 <- s0) reset to 00 never
+  // leaves 00: three of the four states are unreachable.
+  Netlist nl;
+  NetId one = nl.add_const("one", 1, 1);
+  NetId d0 = nl.add_const("d0", 0, 1);
+  NetId s0 = nl.add_reg("s0", d0, one);
+  NetId s1 = nl.add_reg("s1", d0, one);
+  // swap feedback: s0 <- s1, s1 <- s0
+  nl.reconnect_input(nl.net(s0).driver, 0, s1);
+  nl.reconnect_input(nl.net(s1).driver, 0, s0);
+  nl.add_output("o0", s0);
+  nl.add_output("o1", s1);
+  const ControlSpace space = explore_control_space(nl);
+  ASSERT_TRUE(space.tractable);
+  EXPECT_EQ(space.reachable.size(), 1u);  // stuck at 00
+}
+
+TEST(Reachability, DataPathStaysOutOfSlice) {
+  const Netlist nl = make_design2(8, 1);
+  const ControlSpace space = explore_control_space(nl);
+  EXPECT_FALSE(space.in_slice(nl.find_net("l0_mul")));
+  EXPECT_FALSE(space.in_slice(nl.find_net("l0_acc")));
+  EXPECT_TRUE(space.in_slice(nl.find_net("ph1")));
+  EXPECT_TRUE(space.in_slice(nl.find_net("en_acc")));
+}
+
+TEST(Reachability, BudgetMakesSpaceIntractable) {
+  const Netlist nl = make_design2(8, 1);
+  const ControlSpace space = explore_control_space(nl, /*max_state_bits=*/1);
+  EXPECT_FALSE(space.tractable);
+}
+
+TEST(Reachability, CareSetExcludesImpossiblePhasePairs) {
+  const Netlist nl = make_design2(8, 1);
+  const ControlSpace space = explore_control_space(nl);
+  ASSERT_TRUE(space.tractable);
+  BddManager mgr;
+  NetVarMap vars;
+  const NetId ph1 = nl.find_net("ph1");
+  const NetId ph2 = nl.find_net("ph2");
+  const BddRef care = reachable_care_set(space, nl, mgr, vars, {ph1, ph2});
+  // Phases decode distinct states: ph1 & ph2 is unreachable.
+  const BddRef both =
+      mgr.band(mgr.var(vars.var_of(nl, ph1)), mgr.var(vars.var_of(nl, ph2)));
+  EXPECT_TRUE(mgr.is_zero(mgr.band(care, both)));
+  // But each phase alone does occur.
+  EXPECT_FALSE(mgr.is_zero(mgr.band(care, mgr.var(vars.var_of(nl, ph1)))));
+}
+
+TEST(Reachability, RestrictToCareShrinksOneHotFunctions) {
+  // f = ph1·!ph2 + ph2·!ph1 over one-hot phases simplifies to ph1 + ph2
+  // once the impossible ph1·ph2 valuation is a don't-care.
+  const Netlist nl = make_design2(8, 1);
+  const ControlSpace space = explore_control_space(nl);
+  ExprPool pool;
+  NetVarMap vars;
+  const ExprRef p1 = pool.var(vars.var_of(nl, nl.find_net("ph1")));
+  const ExprRef p2 = pool.var(vars.var_of(nl, nl.find_net("ph2")));
+  const ExprRef f =
+      pool.lor(pool.land(p1, pool.lnot(p2)), pool.land(p2, pool.lnot(p1)));
+  const ExprRef g = minimize_with_reachability(space, nl, pool, vars, f);
+  EXPECT_LT(pool.literal_count(g), pool.literal_count(f));
+  // Equal on the care set: simulate both over reachable valuations.
+  BddManager mgr;
+  const BddRef care =
+      reachable_care_set(space, nl, mgr, vars, {nl.find_net("ph1"), nl.find_net("ph2")});
+  const BddRef diff = mgr.bxor(mgr.from_expr(pool, f), mgr.from_expr(pool, g));
+  EXPECT_TRUE(mgr.is_zero(mgr.band(diff, care)));
+}
+
+TEST(Reachability, MinimizationLeavesForeignFunctionsAlone) {
+  const Netlist nl = make_design1(8);  // no internal FSM: slice has no states
+  const ControlSpace space = explore_control_space(nl);
+  ExprPool pool;
+  NetVarMap vars;
+  const ExprRef f = pool.var(vars.var_of(nl, nl.find_net("act")));
+  EXPECT_EQ(minimize_with_reachability(space, nl, pool, vars, f), f);
+}
+
+TEST(Reachability, MinimizedActivationKeepsDesignEquivalent) {
+  // Isolate design2's subtractor with the reachability-minimized
+  // activation function; observed outputs must be unchanged.
+  const Netlist original = make_design2(8, 1);
+  Netlist nl = original;
+  ExprPool pool;
+  NetVarMap vars;
+  const ActivationAnalysis aa = derive_activation(nl, pool, vars);
+  const ControlSpace space = explore_control_space(nl);
+  ASSERT_TRUE(space.tractable);
+  const CellId sub = nl.net(nl.find_net("l0_sub")).driver;
+  const ExprRef minimized =
+      minimize_with_reachability(space, nl, pool, vars, aa.activation_of(nl, sub));
+  (void)isolate_module(nl, pool, vars, sub, minimized, IsolationStyle::And);
+  testutil::expect_observably_equivalent(original, nl, 0x5EED, 3000);
+}
+
+TEST(Reachability, AlgorithmOptionKeepsEquivalenceAndNeverGrowsLogic) {
+  const Netlist original = make_design2(8, 2);
+  auto run_with = [&](bool dont_cares) {
+    IsolationOptions opt;
+    opt.use_reachability_dont_cares = dont_cares;
+    opt.sim_cycles = 2000;
+    return run_operand_isolation(
+        original, [] { return std::make_unique<UniformStimulus>(77); }, opt);
+  };
+  const IsolationResult plain = run_with(false);
+  const IsolationResult dc = run_with(true);
+  ASSERT_FALSE(dc.records.empty());
+  testutil::expect_observably_equivalent(original, dc.netlist, 0xACE, 3000);
+  // Don't-care minimization can only shrink total activation logic.
+  auto total_literals = [](const IsolationResult& r) {
+    std::size_t n = 0;
+    for (const IsolationRecord& rec : r.records) n += rec.literal_count;
+    return n;
+  };
+  EXPECT_LE(total_literals(dc), total_literals(plain));
+}
+
+TEST(Reachability, RestrictOperatorContract) {
+  // g ∧ care == f ∧ care for random small cases.
+  BddManager m;
+  const BddRef x0 = m.var(0), x1 = m.var(1), x2 = m.var(2);
+  const BddRef f = m.bor(m.band(x0, x1), m.band(m.bnot(x0), x2));
+  const BddRef care = m.bor(m.band(x0, m.bnot(x1)), m.band(m.bnot(x0), x1));
+  const BddRef g = m.restrict_to_care(f, care);
+  EXPECT_TRUE(m.equal(m.band(g, care), m.band(f, care)));
+  // Trivial cares.
+  EXPECT_TRUE(m.equal(m.restrict_to_care(f, m.one()), f));
+}
+
+}  // namespace
+}  // namespace opiso

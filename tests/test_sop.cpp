@@ -1,0 +1,113 @@
+// Tests for sum-of-products extraction and distance-1 merging.
+#include <gtest/gtest.h>
+
+#include "boolfn/sop.hpp"
+#include "support/rng.hpp"
+
+namespace opiso {
+namespace {
+
+bool cover_eval(const std::vector<Cube>& cover, int minterm) {
+  for (const Cube& c : cover) {
+    bool ok = true;
+    for (const auto& [v, pol] : c) {
+      if (static_cast<bool>((minterm >> v) & 1) != pol) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+TEST(Sop, ExtractConstants) {
+  BddManager m;
+  EXPECT_TRUE(extract_cover(m, m.zero()).empty());
+  const auto one = extract_cover(m, m.one());
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_TRUE(one[0].empty());
+}
+
+TEST(Sop, ExtractSimpleFunction) {
+  BddManager m;
+  BddRef f = m.bor(m.band(m.var(0), m.var(1)), m.bnot(m.var(2)));
+  const auto cover = merge_cover(extract_cover(m, f));
+  for (int mt = 0; mt < 8; ++mt) {
+    EXPECT_EQ(cover_eval(cover, mt), m.eval(f, [&](BoolVar v) { return (mt >> v) & 1; }));
+  }
+}
+
+TEST(Sop, MergeCollapsesAdjacentCubes) {
+  // x·y + x·!y should merge to x.
+  std::vector<Cube> cover{{{0, true}, {1, true}}, {{0, true}, {1, false}}};
+  const auto merged = merge_cover(cover);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (Cube{{0, true}}));
+}
+
+TEST(Sop, MergeRemovesSubsumed) {
+  // x + x·y — the second cube is subsumed.
+  std::vector<Cube> cover{{{0, true}}, {{0, true}, {1, true}}};
+  const auto merged = merge_cover(cover);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (Cube{{0, true}}));
+}
+
+TEST(Sop, CoverLiteralCount) {
+  std::vector<Cube> cover{{{0, true}, {1, false}}, {{2, true}}};
+  EXPECT_EQ(cover_literal_count(cover), 3u);
+}
+
+TEST(Sop, CoverToString) {
+  std::vector<Cube> cover{{{0, true}, {1, false}}};
+  const std::string s =
+      cover_to_string(cover, [](BoolVar v) { return std::string(1, static_cast<char>('a' + v)); });
+  EXPECT_EQ(s, "a&!b");
+  EXPECT_EQ(cover_to_string({}, nullptr), "0");
+}
+
+TEST(Sop, CoverToExprEquivalent) {
+  BddManager m;
+  ExprPool pool;
+  BddRef f = m.bxor(m.var(0), m.var(1));
+  const auto cover = extract_cover(m, f);
+  const ExprRef e = cover_to_expr(pool, cover);
+  for (int mt = 0; mt < 4; ++mt) {
+    auto assign = [&](BoolVar v) { return (mt >> v) & 1; };
+    EXPECT_EQ(pool.eval(e, assign), m.eval(f, assign));
+  }
+}
+
+// Property: merging never changes the function; XOR-like functions keep
+// their full cube count while unate functions shrink.
+class SopRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SopRandomProperty, MergePreservesFunction) {
+  Rng rng(GetParam() * 31 + 7);
+  BddManager m;
+  constexpr int kVars = 5;
+  // Random function from random minterm set.
+  BddRef f = m.zero();
+  for (int i = 0; i < 8; ++i) {
+    const int mt = static_cast<int>(rng.next_range(0, (1 << kVars) - 1));
+    BddRef cube = m.one();
+    for (int v = 0; v < kVars; ++v) {
+      cube = m.band(cube, (mt >> v) & 1 ? m.var(static_cast<BoolVar>(v))
+                                        : m.nvar(static_cast<BoolVar>(v)));
+    }
+    f = m.bor(f, cube);
+  }
+  const auto raw = extract_cover(m, f);
+  const auto merged = merge_cover(raw);
+  EXPECT_LE(merged.size(), raw.size());
+  for (int mt = 0; mt < (1 << kVars); ++mt) {
+    auto assign = [&](BoolVar v) { return (mt >> v) & 1; };
+    EXPECT_EQ(cover_eval(merged, mt), m.eval(f, assign)) << "minterm " << mt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SopRandomProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace opiso

@@ -1,0 +1,129 @@
+// Tests for static timing analysis: hand-computed arrivals, slack
+// bookkeeping, and the effect of inserting isolation cells.
+#include <gtest/gtest.h>
+
+#include "designs/designs.hpp"
+#include "timing/sta.hpp"
+
+namespace opiso {
+namespace {
+
+TEST(Sta, SingleAdderArrival) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId sum = nl.add_binop(CellKind::Add, "sum", a, b);
+  nl.add_output("o", sum);
+
+  DelayModel dm;
+  const TimingReport rep = run_sta(nl, dm);
+  // arrival(a) = load only (1 fanout); arrival(sum) = arrival(in) +
+  // adder delay + load of 1 fanout pin.
+  const double arr_in = dm.load_per_fanout_ns;
+  const double expected =
+      arr_in + dm.cell_delay(CellKind::Add, 8) + dm.load_per_fanout_ns;
+  EXPECT_NEAR(rep.net_arrival(sum), expected, 1e-12);
+  EXPECT_NEAR(rep.critical_path_delay, expected, 1e-12);
+  // Slack at the PO pin = period - arrival.
+  EXPECT_NEAR(rep.net_slack(sum), dm.clock_period_ns - expected, 1e-12);
+}
+
+TEST(Sta, RegisterLaunchAndCapture) {
+  Netlist nl;
+  NetId d = nl.add_input("d", 8);
+  NetId en = nl.add_input("en", 1);
+  NetId q = nl.add_reg("q", d, en);
+  NetId sum = nl.add_binop(CellKind::Add, "sum", q, q);
+  NetId q2 = nl.add_reg("q2", sum, en);
+  nl.add_output("o", q2);
+
+  DelayModel dm;
+  const TimingReport rep = run_sta(nl, dm);
+  // Q launches at clk-to-q (+ load of its 2 pins on the adder).
+  EXPECT_NEAR(rep.net_arrival(q), dm.clk_to_q_ns + 2 * dm.load_per_fanout_ns, 1e-12);
+  // D of q2 must meet period - setup.
+  EXPECT_NEAR(rep.required[sum.value()], dm.clock_period_ns - dm.setup_ns, 1e-12);
+}
+
+TEST(Sta, SlackConstantAlongASinglePath) {
+  // Classic STA property: all nets on one critical path share its slack.
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId s1 = nl.add_binop(CellKind::Add, "s1", a, b);
+  NetId s2 = nl.add_binop(CellKind::Add, "s2", s1, b);
+  NetId s3 = nl.add_binop(CellKind::Add, "s3", s2, b);
+  nl.add_output("o3", s3);
+  const TimingReport rep = run_sta(nl, DelayModel{});
+  EXPECT_NEAR(rep.net_slack(s3), rep.net_slack(s1), 1e-12);
+  EXPECT_NEAR(rep.worst_slack, rep.net_slack(s3), 1e-12);
+}
+
+TEST(Sta, DeeperDisjointConeHasSmallerSlack) {
+  // Two independent cones: the 3-adder chain has less slack than the
+  // single adder feeding its own output.
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId c = nl.add_input("c", 8);
+  NetId d = nl.add_input("d", 8);
+  NetId shallow = nl.add_binop(CellKind::Add, "shallow", a, b);
+  NetId t1 = nl.add_binop(CellKind::Add, "t1", c, d);
+  NetId t2 = nl.add_binop(CellKind::Add, "t2", t1, d);
+  NetId deep = nl.add_binop(CellKind::Add, "deep", t2, d);
+  nl.add_output("o1", shallow);
+  nl.add_output("o2", deep);
+  const TimingReport rep = run_sta(nl, DelayModel{});
+  EXPECT_LT(rep.net_slack(deep), rep.net_slack(shallow));
+  EXPECT_NEAR(rep.worst_slack, rep.net_slack(deep), 1e-12);
+}
+
+TEST(Sta, WiderAdderIsSlower) {
+  DelayModel dm;
+  EXPECT_GT(dm.cell_delay(CellKind::Add, 16), dm.cell_delay(CellKind::Add, 8));
+  EXPECT_GT(dm.cell_delay(CellKind::Mul, 8), dm.cell_delay(CellKind::Add, 8));
+}
+
+TEST(Sta, IsolationBankReducesSlack) {
+  // Same circuit with and without an IsoAnd in the adder's A path.
+  auto build = [](bool iso) {
+    Netlist nl;
+    NetId a = nl.add_input("a", 8);
+    NetId b = nl.add_input("b", 8);
+    NetId as = nl.add_input("as", 1);
+    NetId lhs = a;
+    if (iso) lhs = nl.add_iso(CellKind::IsoAnd, "blk", a, as);
+    NetId sum = nl.add_binop(CellKind::Add, "sum", lhs, b);
+    NetId en = nl.add_input("en", 1);
+    NetId q = nl.add_reg("q", sum, en);
+    nl.add_output("o", q);
+    (void)as;
+    return nl;
+  };
+  const TimingReport plain = run_sta(build(false), DelayModel{});
+  const TimingReport isolated = run_sta(build(true), DelayModel{});
+  EXPECT_LT(isolated.worst_slack, plain.worst_slack);
+}
+
+TEST(Sta, MeetsTimingOnBenchmarkDesigns) {
+  for (const Netlist& nl :
+       {make_fig1(8), make_design1(8), make_design2(8, 2)}) {
+    const TimingReport rep = run_sta(nl, DelayModel{});
+    EXPECT_GT(rep.worst_slack, 0.0) << nl.name();
+    EXPECT_GT(rep.critical_path_delay, 0.0) << nl.name();
+    EXPECT_LT(rep.critical_path_delay, DelayModel{}.clock_period_ns) << nl.name();
+  }
+}
+
+TEST(Sta, CellSlackUsesOutputNet) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId sum = nl.add_binop(CellKind::Add, "sum", a, b);
+  nl.add_output("o", sum);
+  const TimingReport rep = run_sta(nl, DelayModel{});
+  EXPECT_NEAR(cell_slack(nl, rep, nl.net(sum).driver), rep.net_slack(sum), 1e-12);
+}
+
+}  // namespace
+}  // namespace opiso

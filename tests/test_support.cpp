@@ -1,0 +1,108 @@
+// Tests for the support foundation: deterministic RNG, strong ids,
+// error macros, and the simulator's warm-up facility.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strong_id.hpp"
+
+namespace opiso {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, BitsRespectWidth) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(r.next_bits(5), 31u);
+    EXPECT_LE(r.next_bits(1), 1u);
+  }
+  // Width 64 must not shift out of range.
+  (void)r.next_bits(64);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(11);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += r.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = r.next_range(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(StrongId, DistinctTypesAndInvalid) {
+  struct TagA;
+  using IdA = StrongId<TagA>;
+  IdA a{3};
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_FALSE(IdA::invalid().valid());
+  EXPECT_EQ(IdA{3}, a);
+  EXPECT_NE(IdA{4}, a);
+  EXPECT_LT(a, IdA{4});
+}
+
+TEST(Error, RequireMacroThrowsWithContext) {
+  try {
+    OPISO_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyIsCatchable) {
+  EXPECT_THROW(throw NetlistError("x"), Error);
+  EXPECT_THROW(throw ParseError("x"), Error);
+  EXPECT_THROW(throw SimError("x"), Error);
+}
+
+TEST(Warmup, DiscardsResetTransient) {
+  // Register comes out of reset at 0 and jumps to the stimulus value:
+  // without warm-up that jump pollutes the toggle statistics.
+  Netlist nl;
+  NetId d = nl.add_input("d", 8);
+  NetId one = nl.add_const("one", 1, 1);
+  NetId q = nl.add_reg("q", d, one);
+  nl.add_output("o", q);
+
+  ConstantStimulus stim;
+  stim.set("d", 0xFF);
+  Simulator cold(nl);
+  cold.run(stim, 50);
+  EXPECT_GT(cold.stats().toggles[q.value()], 0u);  // reset jump counted
+
+  Simulator warm(nl);
+  warm.warmup(stim, 4);
+  warm.run(stim, 50);
+  EXPECT_EQ(warm.stats().toggles[q.value()], 0u);  // steady state only
+  EXPECT_EQ(warm.stats().cycles, 50u);
+}
+
+}  // namespace
+}  // namespace opiso

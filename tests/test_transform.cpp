@@ -1,0 +1,189 @@
+// Tests for the isolation transform: structural effects, activation-
+// logic synthesis, legality, and — the correctness contract of the whole
+// technique — observational equivalence for every isolation style.
+#include <gtest/gtest.h>
+
+#include "boolfn/bdd.hpp"
+#include "designs/designs.hpp"
+#include "isolation/activation.hpp"
+#include "isolation/transform.hpp"
+#include "test_util.hpp"
+
+namespace opiso {
+namespace {
+
+struct Ctx {
+  Netlist nl;
+  ExprPool pool;
+  NetVarMap vars;
+  ActivationAnalysis aa;
+
+  explicit Ctx(Netlist design) : nl(std::move(design)) {
+    aa = derive_activation(nl, pool, vars);
+  }
+  CellId cell(const std::string& out_net) { return nl.net(nl.find_net(out_net)).driver; }
+  ExprRef f(const std::string& out_net) { return aa.activation_of(nl, cell(out_net)); }
+};
+
+TEST(Transform, SynthesizedLogicComputesTheFunction) {
+  Ctx c(make_fig1(8));
+  const ExprRef f_a1 = c.f("a1");
+  std::vector<CellId> created;
+  const NetId as = synthesize_activation_logic(c.nl, c.pool, c.vars, f_a1, "as_a1", &created);
+  EXPECT_FALSE(created.empty());
+  c.nl.validate();
+
+  // Exhaustively drive the five control inputs and compare the AS net
+  // against direct evaluation of the expression.
+  Simulator sim(c.nl);
+  for (int mt = 0; mt < 32; ++mt) {
+    ConstantStimulus stim;
+    const char* names[5] = {"S0", "S1", "S2", "G0", "G1"};
+    for (int i = 0; i < 5; ++i) stim.set(names[i], (mt >> i) & 1);
+    sim.run(stim, 1);
+    const bool expected = c.pool.eval(f_a1, [&](BoolVar v) {
+      return (sim.net_value(c.vars.net_of(v)) & 1) != 0;
+    });
+    EXPECT_EQ(sim.net_value(as) & 1, expected ? 1u : 0u) << "minterm " << mt;
+  }
+}
+
+TEST(Transform, SharedSubexpressionsShareGates) {
+  Ctx c(make_fig1(8));
+  // (G0&G1) | !(G0&G1)-ish sharing: build a & b and (a & b) | c.
+  ExprRef ab = c.pool.land(c.pool.var(c.vars.var_of(c.nl, c.nl.find_net("G0"))),
+                           c.pool.var(c.vars.var_of(c.nl, c.nl.find_net("G1"))));
+  ExprRef top = c.pool.lor(ab, c.pool.var(c.vars.var_of(c.nl, c.nl.find_net("S0"))));
+  std::vector<CellId> created;
+  (void)synthesize_activation_logic(c.nl, c.pool, c.vars, top, "sh", &created);
+  EXPECT_EQ(created.size(), 2u);  // one AND + one OR, the AND not duplicated
+}
+
+TEST(Transform, IsolateInsertsBanksOnEveryInput) {
+  Ctx c(make_fig1(8));
+  const CellId a1 = c.cell("a1");
+  const IsolationRecord rec =
+      isolate_module(c.nl, c.pool, c.vars, a1, c.f("a1"), IsolationStyle::And);
+  c.nl.validate();
+  EXPECT_EQ(rec.bank_cells.size(), 2u);
+  EXPECT_EQ(rec.isolated_bits, 16u);
+  EXPECT_EQ(rec.literal_count, 5u);  // S2·G1 + S1·!S0·G0
+  for (NetId in : c.nl.cell(a1).ins) {
+    EXPECT_EQ(c.nl.cell(c.nl.net(in).driver).kind, CellKind::IsoAnd);
+  }
+}
+
+TEST(Transform, StylesMapToCellKinds) {
+  EXPECT_EQ(isolation_cell_kind(IsolationStyle::And), CellKind::IsoAnd);
+  EXPECT_EQ(isolation_cell_kind(IsolationStyle::Or), CellKind::IsoOr);
+  EXPECT_EQ(isolation_cell_kind(IsolationStyle::Latch), CellKind::IsoLatch);
+  EXPECT_EQ(isolation_style_name(IsolationStyle::Latch), "LAT");
+}
+
+TEST(Transform, OtherConsumersKeepTheRawNet) {
+  // a1 also feeds mux m2 directly; isolating a0 must not touch that path.
+  Ctx c(make_fig1(8));
+  const NetId a1_net = c.nl.find_net("a1");
+  const std::size_t fanouts_before = c.nl.net(a1_net).fanouts.size();
+  (void)isolate_module(c.nl, c.pool, c.vars, c.cell("a0"), c.f("a0"), IsolationStyle::And);
+  c.nl.validate();
+  EXPECT_EQ(c.nl.net(a1_net).fanouts.size(), fanouts_before);
+}
+
+TEST(Transform, IllegalWhenActivationTapsOwnFanout) {
+  // cmp computes a select from the adder's own output: using it to
+  // isolate the adder would create a combinational cycle.
+  Netlist nl;
+  NetId a = nl.add_input("a", 8);
+  NetId b = nl.add_input("b", 8);
+  NetId en = nl.add_input("en", 1);
+  NetId s = nl.add_binop(CellKind::Add, "s", a, b);
+  NetId cmp = nl.add_binop(CellKind::Lt, "cmp", s, b);
+  NetId m = nl.add_mux2("m", cmp, s, b);
+  NetId r = nl.add_reg("r", m, en);
+  nl.add_output("o", r);
+  Ctx c(std::move(nl));
+  const CellId adder = c.cell("s");
+  const ExprRef f = c.f("s");
+  EXPECT_FALSE(isolation_is_legal(c.nl, c.pool, c.vars, adder, f));
+  EXPECT_THROW(isolate_module(c.nl, c.pool, c.vars, adder, f, IsolationStyle::And),
+               NetlistError);
+}
+
+// ---- The correctness contract: observed outputs never change. -------------
+
+struct EquivCase {
+  const char* design;
+  IsolationStyle style;
+};
+
+class TransformEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(TransformEquivalence, IsolatingEveryCandidatePreservesOutputs) {
+  const auto [which, style] = GetParam();
+  Netlist original;
+  const std::string name = which;
+  if (name == "fig1") original = make_fig1(8);
+  if (name == "design1") original = make_design1(8);
+  if (name == "design2") original = make_design2(8, 2);
+  if (name == "parametric") original = make_parametric_datapath({2, 2, 6, true});
+
+  Ctx c(original);  // copy for transformation
+  // Isolate every legal arithmetic candidate with a non-constant f.
+  std::size_t isolated = 0;
+  for (CellId id : c.nl.cell_ids()) {
+    if (!cell_kind_is_arith(c.nl.cell(id).kind)) continue;
+    const ExprRef f = c.aa.activation_of(c.nl, id);
+    if (c.pool.is_const1(f)) continue;
+    if (!isolation_is_legal(c.nl, c.pool, c.vars, id, f)) continue;
+    (void)isolate_module(c.nl, c.pool, c.vars, id, f, style);
+    ++isolated;
+  }
+  ASSERT_GT(isolated, 0u);
+  c.nl.validate();
+  testutil::expect_observably_equivalent(original, c.nl, 0xC0FFEE, 3000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignsTimesStyles, TransformEquivalence,
+    ::testing::Values(EquivCase{"fig1", IsolationStyle::And},
+                      EquivCase{"fig1", IsolationStyle::Or},
+                      EquivCase{"fig1", IsolationStyle::Latch},
+                      EquivCase{"design1", IsolationStyle::And},
+                      EquivCase{"design1", IsolationStyle::Or},
+                      EquivCase{"design1", IsolationStyle::Latch},
+                      EquivCase{"design2", IsolationStyle::And},
+                      EquivCase{"design2", IsolationStyle::Or},
+                      EquivCase{"design2", IsolationStyle::Latch},
+                      EquivCase{"parametric", IsolationStyle::And},
+                      EquivCase{"parametric", IsolationStyle::Or},
+                      EquivCase{"parametric", IsolationStyle::Latch}));
+
+TEST(Transform, IsolationReducesModuleInputActivity) {
+  // With AS mostly low, the module's input toggle rate collapses.
+  Netlist original = make_design1(8);
+  Ctx c(original);
+  const CellId mul1 = c.cell("mul1");
+  (void)isolate_module(c.nl, c.pool, c.vars, mul1, c.f("mul1"), IsolationStyle::And);
+
+  auto make_stim = [] {
+    auto comp = std::make_unique<CompositeStimulus>(std::make_unique<UniformStimulus>(9));
+    comp->route("act", std::make_unique<ControlledBitStimulus>(0.1, 0.1, 5));
+    return comp;
+  };
+  Simulator sim_orig(original);
+  Simulator sim_iso(c.nl);
+  auto s1 = make_stim();
+  auto s2 = make_stim();
+  sim_orig.run(*s1, 4000);
+  sim_iso.run(*s2, 4000);
+
+  const NetId pin_orig = original.cell(original.net(original.find_net("mul1")).driver).ins[0];
+  const NetId pin_iso = c.nl.cell(mul1).ins[0];
+  const double rate_orig = sim_orig.stats().toggle_rate(pin_orig);
+  const double rate_iso = sim_iso.stats().toggle_rate(pin_iso);
+  EXPECT_LT(rate_iso, rate_orig * 0.35);
+}
+
+}  // namespace
+}  // namespace opiso

@@ -1,0 +1,188 @@
+// opiso — command-line front door to the library.
+//
+//   opiso stats    <design>                     netlist statistics
+//   opiso dot      <design>                     GraphViz dump to stdout
+//   opiso activation <design> [--lookahead]     derived activation signals
+//   opiso power    <design> [--cycles N]        power estimate (uniform stimuli)
+//   opiso isolate  <design> [options] [-o out.rtn]   run Algorithm 1
+//       --style and|or|latch   --cycles N   --omega-a X   --h-min X
+//       --slack-threshold NS   --lookahead  --report
+//   opiso optimize <design> [-o out.rtn]        optimization passes
+//   opiso lower    <design> [-o out.rtn]        gate-level expansion
+//   opiso verify   <original> <transformed>     BDD equivalence proof
+//
+// <design> is a .rtn structural netlist or a .rtl RTL-language file
+// (chosen by extension).
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baseline/control_signal_gating.hpp"
+#include "frontend/rtl_parser.hpp"
+#include "isolation/report.hpp"
+#include "lower/gate_level.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/text_io.hpp"
+#include "opt/passes.hpp"
+#include "power/estimator.hpp"
+#include "verify/equiv.hpp"
+
+namespace {
+
+using namespace opiso;
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: opiso <stats|dot|activation|power|isolate|optimize|lower|verify> "
+               "<design.rtn|design.rtl> [options]\n";
+  std::exit(2);
+}
+
+Netlist load_design(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".rtl") return parse_rtl_file(path);
+  return load_netlist(path);
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string out_path;
+  IsolationStyle style = IsolationStyle::And;
+  std::uint64_t cycles = 8192;
+  double omega_a = 0.2;
+  double h_min = 0.0;
+  double slack_threshold = 0.0;
+  bool lookahead = false;
+  bool report = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      if (++i >= argc) usage();
+      return argv[i];
+    };
+    if (a == "-o") {
+      args.out_path = value();
+    } else if (a == "--style") {
+      const std::string s = value();
+      if (s == "and") args.style = IsolationStyle::And;
+      else if (s == "or") args.style = IsolationStyle::Or;
+      else if (s == "latch") args.style = IsolationStyle::Latch;
+      else usage();
+    } else if (a == "--cycles") {
+      args.cycles = std::stoull(value());
+    } else if (a == "--omega-a") {
+      args.omega_a = std::stod(value());
+    } else if (a == "--h-min") {
+      args.h_min = std::stod(value());
+    } else if (a == "--slack-threshold") {
+      args.slack_threshold = std::stod(value());
+    } else if (a == "--lookahead") {
+      args.lookahead = true;
+    } else if (a == "--report") {
+      args.report = true;
+    } else if (!a.empty() && a[0] == '-') {
+      usage();
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+void emit(const Args& args, const Netlist& nl) {
+  if (args.out_path.empty()) {
+    write_netlist(std::cout, nl);
+  } else {
+    save_netlist(args.out_path, nl);
+    std::cerr << "wrote " << args.out_path << "\n";
+  }
+}
+
+int run(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv);
+  if (args.positional.empty()) usage();
+  const Netlist design = load_design(args.positional[0]);
+
+  if (cmd == "stats") {
+    std::cout << "design '" << design.name() << "'\n"
+              << stats_to_string(compute_stats(design));
+  } else if (cmd == "dot") {
+    write_dot(std::cout, design);
+  } else if (cmd == "activation") {
+    ExprPool pool;
+    NetVarMap vars;
+    ActivationOptions opt;
+    opt.register_lookahead = args.lookahead;
+    const ActivationAnalysis aa = derive_activation(design, pool, vars, opt);
+    for (CellId id : design.cell_ids()) {
+      const Cell& c = design.cell(id);
+      if (!cell_kind_is_arith(c.kind)) continue;
+      std::cout << c.name << ": AS = "
+                << activation_to_string(design, pool, vars, aa.activation_of(design, id))
+                << "\n";
+    }
+  } else if (cmd == "power") {
+    Simulator sim(design);
+    UniformStimulus stim(1);
+    sim.run(stim, args.cycles);
+    const PowerBreakdown pb = PowerEstimator().estimate(design, sim.stats());
+    std::cout << "total " << pb.total_mw << " mW (arith " << pb.arith_mw << ", steering "
+              << pb.steering_mw << ", sequential " << pb.sequential_mw << ", isolation "
+              << pb.isolation_mw << ")\n";
+  } else if (cmd == "isolate") {
+    IsolationOptions opt;
+    opt.style = args.style;
+    opt.sim_cycles = args.cycles;
+    opt.omega_a = args.omega_a;
+    opt.h_min = args.h_min;
+    opt.slack_threshold_ns = args.slack_threshold;
+    opt.activation.register_lookahead = args.lookahead;
+    const IsolationResult res = run_operand_isolation(
+        design, [] { return std::make_unique<UniformStimulus>(1); }, opt);
+    std::cerr << format_isolation_summary(res);
+    if (args.report) std::cerr << "\n" << format_iteration_log(res);
+    if (!args.out_path.empty()) emit(args, res.netlist);
+  } else if (cmd == "optimize") {
+    OptimizeStats stats;
+    const Netlist o = optimize(design, {}, &stats);
+    std::cerr << "cells " << stats.cells_before << " -> " << stats.cells_after << " (folded "
+              << stats.folded_constants << ", simplified " << stats.simplified << ", cse "
+              << stats.cse_merged << ", dead " << stats.dead_removed << ")\n";
+    emit(args, o);
+  } else if (cmd == "lower") {
+    const GateLevelResult g = lower_to_gates(design);
+    std::cerr << "lowered to " << g.netlist.num_cells() << " gate-level cells\n";
+    emit(args, g.netlist);
+  } else if (cmd == "verify") {
+    if (args.positional.size() < 2) usage();
+    const Netlist other = load_design(args.positional[1]);
+    const EquivResult res = check_isolation_equivalence(design, other);
+    if (res.equivalent) {
+      std::cout << "EQUIVALENT (" << res.obligations_checked << " obligations, "
+                << res.bdd_nodes << " BDD nodes)\n";
+      return 0;
+    }
+    std::cout << "NOT EQUIVALENT: " << res.reason << "\n";
+    return 1;
+  } else {
+    usage();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const opiso::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
