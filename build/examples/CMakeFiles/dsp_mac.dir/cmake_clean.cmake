@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_mac.dir/dsp_mac.cpp.o"
+  "CMakeFiles/dsp_mac.dir/dsp_mac.cpp.o.d"
+  "dsp_mac"
+  "dsp_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

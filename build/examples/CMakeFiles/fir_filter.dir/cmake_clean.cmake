@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_filter.dir/fir_filter.cpp.o"
+  "CMakeFiles/fir_filter.dir/fir_filter.cpp.o.d"
+  "fir_filter"
+  "fir_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

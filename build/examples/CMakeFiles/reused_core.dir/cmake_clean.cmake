@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reused_core.dir/reused_core.cpp.o"
+  "CMakeFiles/reused_core.dir/reused_core.cpp.o.d"
+  "reused_core"
+  "reused_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reused_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

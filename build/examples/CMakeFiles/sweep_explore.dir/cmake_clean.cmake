@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_explore.dir/sweep_explore.cpp.o"
+  "CMakeFiles/sweep_explore.dir/sweep_explore.cpp.o.d"
+  "sweep_explore"
+  "sweep_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netlist")
+subdirs("boolfn")
+subdirs("opt")
+subdirs("frontend")
+subdirs("lower")
+subdirs("verify")
+subdirs("fsm")
+subdirs("sim")
+subdirs("timing")
+subdirs("power")
+subdirs("isolation")
+subdirs("baseline")
+subdirs("designs")

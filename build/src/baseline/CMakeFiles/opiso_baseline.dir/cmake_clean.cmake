@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_baseline.dir/control_signal_gating.cpp.o"
+  "CMakeFiles/opiso_baseline.dir/control_signal_gating.cpp.o.d"
+  "CMakeFiles/opiso_baseline.dir/guarded_eval.cpp.o"
+  "CMakeFiles/opiso_baseline.dir/guarded_eval.cpp.o.d"
+  "libopiso_baseline.a"
+  "libopiso_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopiso_baseline.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_boolfn.dir/bdd.cpp.o"
+  "CMakeFiles/opiso_boolfn.dir/bdd.cpp.o.d"
+  "CMakeFiles/opiso_boolfn.dir/expr.cpp.o"
+  "CMakeFiles/opiso_boolfn.dir/expr.cpp.o.d"
+  "CMakeFiles/opiso_boolfn.dir/sop.cpp.o"
+  "CMakeFiles/opiso_boolfn.dir/sop.cpp.o.d"
+  "libopiso_boolfn.a"
+  "libopiso_boolfn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_boolfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

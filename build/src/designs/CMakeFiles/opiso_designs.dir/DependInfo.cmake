@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designs/design1.cpp" "src/designs/CMakeFiles/opiso_designs.dir/design1.cpp.o" "gcc" "src/designs/CMakeFiles/opiso_designs.dir/design1.cpp.o.d"
+  "/root/repo/src/designs/design2.cpp" "src/designs/CMakeFiles/opiso_designs.dir/design2.cpp.o" "gcc" "src/designs/CMakeFiles/opiso_designs.dir/design2.cpp.o.d"
+  "/root/repo/src/designs/fig1.cpp" "src/designs/CMakeFiles/opiso_designs.dir/fig1.cpp.o" "gcc" "src/designs/CMakeFiles/opiso_designs.dir/fig1.cpp.o.d"
+  "/root/repo/src/designs/parametric.cpp" "src/designs/CMakeFiles/opiso_designs.dir/parametric.cpp.o" "gcc" "src/designs/CMakeFiles/opiso_designs.dir/parametric.cpp.o.d"
+  "/root/repo/src/designs/random_design.cpp" "src/designs/CMakeFiles/opiso_designs.dir/random_design.cpp.o" "gcc" "src/designs/CMakeFiles/opiso_designs.dir/random_design.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/opiso_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

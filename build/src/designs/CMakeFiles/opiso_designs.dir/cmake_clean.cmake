@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_designs.dir/design1.cpp.o"
+  "CMakeFiles/opiso_designs.dir/design1.cpp.o.d"
+  "CMakeFiles/opiso_designs.dir/design2.cpp.o"
+  "CMakeFiles/opiso_designs.dir/design2.cpp.o.d"
+  "CMakeFiles/opiso_designs.dir/fig1.cpp.o"
+  "CMakeFiles/opiso_designs.dir/fig1.cpp.o.d"
+  "CMakeFiles/opiso_designs.dir/parametric.cpp.o"
+  "CMakeFiles/opiso_designs.dir/parametric.cpp.o.d"
+  "CMakeFiles/opiso_designs.dir/random_design.cpp.o"
+  "CMakeFiles/opiso_designs.dir/random_design.cpp.o.d"
+  "libopiso_designs.a"
+  "libopiso_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_frontend.dir/rtl_parser.cpp.o"
+  "CMakeFiles/opiso_frontend.dir/rtl_parser.cpp.o.d"
+  "libopiso_frontend.a"
+  "libopiso_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_fsm.dir/reachability.cpp.o"
+  "CMakeFiles/opiso_fsm.dir/reachability.cpp.o.d"
+  "libopiso_fsm.a"
+  "libopiso_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isolation/activation.cpp" "src/isolation/CMakeFiles/opiso_isolation.dir/activation.cpp.o" "gcc" "src/isolation/CMakeFiles/opiso_isolation.dir/activation.cpp.o.d"
+  "/root/repo/src/isolation/algorithm.cpp" "src/isolation/CMakeFiles/opiso_isolation.dir/algorithm.cpp.o" "gcc" "src/isolation/CMakeFiles/opiso_isolation.dir/algorithm.cpp.o.d"
+  "/root/repo/src/isolation/candidates.cpp" "src/isolation/CMakeFiles/opiso_isolation.dir/candidates.cpp.o" "gcc" "src/isolation/CMakeFiles/opiso_isolation.dir/candidates.cpp.o.d"
+  "/root/repo/src/isolation/muxfn.cpp" "src/isolation/CMakeFiles/opiso_isolation.dir/muxfn.cpp.o" "gcc" "src/isolation/CMakeFiles/opiso_isolation.dir/muxfn.cpp.o.d"
+  "/root/repo/src/isolation/report.cpp" "src/isolation/CMakeFiles/opiso_isolation.dir/report.cpp.o" "gcc" "src/isolation/CMakeFiles/opiso_isolation.dir/report.cpp.o.d"
+  "/root/repo/src/isolation/savings.cpp" "src/isolation/CMakeFiles/opiso_isolation.dir/savings.cpp.o" "gcc" "src/isolation/CMakeFiles/opiso_isolation.dir/savings.cpp.o.d"
+  "/root/repo/src/isolation/transform.cpp" "src/isolation/CMakeFiles/opiso_isolation.dir/transform.cpp.o" "gcc" "src/isolation/CMakeFiles/opiso_isolation.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/opiso_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolfn/CMakeFiles/opiso_boolfn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/opiso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/opiso_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/opiso_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/opiso_fsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_isolation.dir/activation.cpp.o"
+  "CMakeFiles/opiso_isolation.dir/activation.cpp.o.d"
+  "CMakeFiles/opiso_isolation.dir/algorithm.cpp.o"
+  "CMakeFiles/opiso_isolation.dir/algorithm.cpp.o.d"
+  "CMakeFiles/opiso_isolation.dir/candidates.cpp.o"
+  "CMakeFiles/opiso_isolation.dir/candidates.cpp.o.d"
+  "CMakeFiles/opiso_isolation.dir/muxfn.cpp.o"
+  "CMakeFiles/opiso_isolation.dir/muxfn.cpp.o.d"
+  "CMakeFiles/opiso_isolation.dir/report.cpp.o"
+  "CMakeFiles/opiso_isolation.dir/report.cpp.o.d"
+  "CMakeFiles/opiso_isolation.dir/savings.cpp.o"
+  "CMakeFiles/opiso_isolation.dir/savings.cpp.o.d"
+  "CMakeFiles/opiso_isolation.dir/transform.cpp.o"
+  "CMakeFiles/opiso_isolation.dir/transform.cpp.o.d"
+  "libopiso_isolation.a"
+  "libopiso_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lower/gate_level.cpp" "src/lower/CMakeFiles/opiso_lower.dir/gate_level.cpp.o" "gcc" "src/lower/CMakeFiles/opiso_lower.dir/gate_level.cpp.o.d"
+  "/root/repo/src/lower/gate_power.cpp" "src/lower/CMakeFiles/opiso_lower.dir/gate_power.cpp.o" "gcc" "src/lower/CMakeFiles/opiso_lower.dir/gate_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/opiso_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/opiso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/opiso_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolfn/CMakeFiles/opiso_boolfn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

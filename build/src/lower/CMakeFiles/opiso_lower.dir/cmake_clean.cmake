@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_lower.dir/gate_level.cpp.o"
+  "CMakeFiles/opiso_lower.dir/gate_level.cpp.o.d"
+  "CMakeFiles/opiso_lower.dir/gate_power.cpp.o"
+  "CMakeFiles/opiso_lower.dir/gate_power.cpp.o.d"
+  "libopiso_lower.a"
+  "libopiso_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

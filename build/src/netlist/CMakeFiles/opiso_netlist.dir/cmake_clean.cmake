@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_netlist.dir/cell.cpp.o"
+  "CMakeFiles/opiso_netlist.dir/cell.cpp.o.d"
+  "CMakeFiles/opiso_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/opiso_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/opiso_netlist.dir/stats.cpp.o"
+  "CMakeFiles/opiso_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/opiso_netlist.dir/text_io.cpp.o"
+  "CMakeFiles/opiso_netlist.dir/text_io.cpp.o.d"
+  "CMakeFiles/opiso_netlist.dir/traversal.cpp.o"
+  "CMakeFiles/opiso_netlist.dir/traversal.cpp.o.d"
+  "libopiso_netlist.a"
+  "libopiso_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_opt.dir/passes.cpp.o"
+  "CMakeFiles/opiso_opt.dir/passes.cpp.o.d"
+  "libopiso_opt.a"
+  "libopiso_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/area_model.cpp" "src/power/CMakeFiles/opiso_power.dir/area_model.cpp.o" "gcc" "src/power/CMakeFiles/opiso_power.dir/area_model.cpp.o.d"
+  "/root/repo/src/power/bit_model.cpp" "src/power/CMakeFiles/opiso_power.dir/bit_model.cpp.o" "gcc" "src/power/CMakeFiles/opiso_power.dir/bit_model.cpp.o.d"
+  "/root/repo/src/power/estimator.cpp" "src/power/CMakeFiles/opiso_power.dir/estimator.cpp.o" "gcc" "src/power/CMakeFiles/opiso_power.dir/estimator.cpp.o.d"
+  "/root/repo/src/power/macro_model.cpp" "src/power/CMakeFiles/opiso_power.dir/macro_model.cpp.o" "gcc" "src/power/CMakeFiles/opiso_power.dir/macro_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/opiso_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/opiso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolfn/CMakeFiles/opiso_boolfn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_power.dir/area_model.cpp.o"
+  "CMakeFiles/opiso_power.dir/area_model.cpp.o.d"
+  "CMakeFiles/opiso_power.dir/bit_model.cpp.o"
+  "CMakeFiles/opiso_power.dir/bit_model.cpp.o.d"
+  "CMakeFiles/opiso_power.dir/estimator.cpp.o"
+  "CMakeFiles/opiso_power.dir/estimator.cpp.o.d"
+  "CMakeFiles/opiso_power.dir/macro_model.cpp.o"
+  "CMakeFiles/opiso_power.dir/macro_model.cpp.o.d"
+  "libopiso_power.a"
+  "libopiso_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/activity.cpp" "src/sim/CMakeFiles/opiso_sim.dir/activity.cpp.o" "gcc" "src/sim/CMakeFiles/opiso_sim.dir/activity.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/opiso_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/opiso_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/stimulus.cpp" "src/sim/CMakeFiles/opiso_sim.dir/stimulus.cpp.o" "gcc" "src/sim/CMakeFiles/opiso_sim.dir/stimulus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/opiso_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolfn/CMakeFiles/opiso_boolfn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

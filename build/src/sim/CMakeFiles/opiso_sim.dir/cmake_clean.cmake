@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_sim.dir/activity.cpp.o"
+  "CMakeFiles/opiso_sim.dir/activity.cpp.o.d"
+  "CMakeFiles/opiso_sim.dir/simulator.cpp.o"
+  "CMakeFiles/opiso_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/opiso_sim.dir/stimulus.cpp.o"
+  "CMakeFiles/opiso_sim.dir/stimulus.cpp.o.d"
+  "libopiso_sim.a"
+  "libopiso_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_timing.dir/delay_model.cpp.o"
+  "CMakeFiles/opiso_timing.dir/delay_model.cpp.o.d"
+  "CMakeFiles/opiso_timing.dir/sta.cpp.o"
+  "CMakeFiles/opiso_timing.dir/sta.cpp.o.d"
+  "libopiso_timing.a"
+  "libopiso_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

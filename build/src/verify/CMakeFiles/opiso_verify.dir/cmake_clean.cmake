@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_verify.dir/equiv.cpp.o"
+  "CMakeFiles/opiso_verify.dir/equiv.cpp.o.d"
+  "libopiso_verify.a"
+  "libopiso_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd.dir/test_bdd.cpp.o"
+  "CMakeFiles/test_bdd.dir/test_bdd.cpp.o.d"
+  "test_bdd"
+  "test_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_muxfn.dir/test_muxfn.cpp.o"
+  "CMakeFiles/test_muxfn.dir/test_muxfn.cpp.o.d"
+  "test_muxfn"
+  "test_muxfn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_muxfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

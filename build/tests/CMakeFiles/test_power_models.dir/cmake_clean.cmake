@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_models.dir/test_power_models.cpp.o"
+  "CMakeFiles/test_power_models.dir/test_power_models.cpp.o.d"
+  "test_power_models"
+  "test_power_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

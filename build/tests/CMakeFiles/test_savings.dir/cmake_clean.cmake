@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_savings.dir/test_savings.cpp.o"
+  "CMakeFiles/test_savings.dir/test_savings.cpp.o.d"
+  "test_savings"
+  "test_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

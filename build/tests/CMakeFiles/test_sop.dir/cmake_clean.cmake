@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sop.dir/test_sop.cpp.o"
+  "CMakeFiles/test_sop.dir/test_sop.cpp.o.d"
+  "test_sop"
+  "test_sop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stimulus.dir/test_stimulus.cpp.o"
+  "CMakeFiles/test_stimulus.dir/test_stimulus.cpp.o.d"
+  "test_stimulus"
+  "test_stimulus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stimulus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_traversal.cpp" "tests/CMakeFiles/test_traversal.dir/test_traversal.cpp.o" "gcc" "tests/CMakeFiles/test_traversal.dir/test_traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isolation/CMakeFiles/opiso_isolation.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/opiso_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/designs/CMakeFiles/opiso_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/opiso_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/opiso_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/opiso_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/opiso_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/opiso_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/opiso_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/opiso_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/opiso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/opiso_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolfn/CMakeFiles/opiso_boolfn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

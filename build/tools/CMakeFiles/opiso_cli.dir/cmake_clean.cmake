@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opiso_cli.dir/opiso_cli.cpp.o"
+  "CMakeFiles/opiso_cli.dir/opiso_cli.cpp.o.d"
+  "opiso"
+  "opiso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opiso_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_stats "/root/repo/build/tools/opiso" "stats" "/root/repo/designs_rtl/fig1.rtl")
+set_tests_properties(cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_activation "/root/repo/build/tools/opiso" "activation" "/root/repo/designs_rtl/design1.rtl")
+set_tests_properties(cli_activation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_isolate_verify "sh" "-c" "/root/repo/build/tools/opiso isolate /root/repo/designs_rtl/fig1.rtl --style and -o /root/repo/build/fig1_iso.rtn && /root/repo/build/tools/opiso verify /root/repo/designs_rtl/fig1.rtl /root/repo/build/fig1_iso.rtn")
+set_tests_properties(cli_isolate_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_optimize "sh" "-c" "/root/repo/build/tools/opiso optimize /root/repo/designs_rtl/fir4.rtl -o /root/repo/build/fir4_opt.rtn")
+set_tests_properties(cli_optimize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
