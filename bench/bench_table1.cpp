@@ -55,6 +55,7 @@ int main() {
 
   const auto table = bench::run_style_table(make_design1(8), stimuli, opt);
   bench::print_table("Table 1 — design1 (act: Pr[1]=0.25, Tr=0.20):", table);
+  bench::emit_json("table1", table);
   std::printf(
       "\nPaper shape (Table 1): AND > LAT > OR reductions, all double-digit;"
       "\n             LAT area overhead a multiple of AND/OR overhead."

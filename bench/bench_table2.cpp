@@ -28,6 +28,7 @@ int main() {
 
   const auto table = bench::run_style_table(make_design2(8, 2), stimuli, opt);
   bench::print_table("Table 2 — design2 (internal FSM-controlled activation):", table);
+  bench::emit_json("table2", table);
   std::printf(
       "\nPaper shape: ~equal power reduction for AND/OR/LAT;"
       "\n             LAT has the largest area increase; slack reduced for all.\n");

@@ -2,12 +2,22 @@
 // Shared harness for the table benchmarks: runs the full isolation flow
 // for every isolation style on one design and prints the paper's table
 // layout (power / %reduction / area / %increase / slack / %reduction).
+//
+// Each table benchmark also emits a machine-readable BENCH_<name>.json
+// (rows plus per-iteration power trajectories and a metrics snapshot)
+// so reproduction results are diffable artifacts. Destination directory
+// comes from $OPISO_BENCH_JSON_DIR (default: current directory); set it
+// to the empty string to disable emission.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "isolation/algorithm.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace opiso::bench {
 
@@ -20,6 +30,9 @@ struct StyleRow {
   double slack_ns = 0.0;
   double slack_red_pct = 0.0;
   std::size_t modules_isolated = 0;
+  /// Total measured power at the start of each Algorithm-1 iteration —
+  /// the optimization trajectory behind the final number.
+  std::vector<double> power_trajectory_mw;
 };
 
 struct TableResult {
@@ -48,6 +61,9 @@ inline TableResult run_style_table(const Netlist& design, const StimulusFactory&
     row.slack_ns = res.slack_after_ns;
     row.slack_red_pct = res.slack_reduction_pct();
     row.modules_isolated = res.records.size();
+    for (const IterationLog& log : res.iterations) {
+      row.power_trajectory_mw.push_back(log.total_power_mw);
+    }
     table.rows.push_back(row);
   };
   for (IsolationStyle style :
@@ -81,6 +97,49 @@ inline void print_table(const std::string& title, const TableResult& table) {
               "Slack", "%red");
   print_row(table.baseline, true);
   for (const StyleRow& r : table.rows) print_row(r, false);
+}
+
+inline obs::JsonValue row_to_json(const StyleRow& r) {
+  obs::JsonValue row = obs::JsonValue::object();
+  row["label"] = r.label;
+  row["power_mw"] = r.power_mw;
+  row["power_reduction_pct"] = r.power_red_pct;
+  row["area_um2"] = r.area_um2;
+  row["area_increase_pct"] = r.area_inc_pct;
+  row["slack_ns"] = r.slack_ns;
+  row["slack_reduction_pct"] = r.slack_red_pct;
+  row["modules_isolated"] = r.modules_isolated;
+  obs::JsonValue traj = obs::JsonValue::array();
+  for (double p : r.power_trajectory_mw) traj.push_back(p);
+  row["power_trajectory_mw"] = std::move(traj);
+  return row;
+}
+
+/// Write BENCH_<name>.json next to the table output (see header
+/// comment for the destination/disable convention).
+inline void emit_json(const std::string& name, const TableResult& table) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("OPISO_BENCH_JSON_DIR")) {
+    if (env[0] == '\0') return;  // explicitly disabled
+    dir = env;
+  }
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc["schema"] = "opiso.bench_table/v1";
+  doc["bench"] = name;
+  doc["baseline"] = row_to_json(table.baseline);
+  obs::JsonValue rows = obs::JsonValue::array();
+  for (const StyleRow& r : table.rows) rows.push_back(row_to_json(r));
+  doc["rows"] = std::move(rows);
+  doc["metrics"] = obs::metrics().snapshot();
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  doc.write(os, 1);
+  os << '\n';
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace opiso::bench

@@ -1,7 +1,7 @@
 # One binary per reproduced table/figure (see DESIGN.md experiment index).
 # All binaries land in ${CMAKE_BINARY_DIR}/bench with nothing else, so
 # `for b in build/bench/*; do $b; done` runs the full evaluation.
-set(OPISO_BENCH_LIBS opiso_isolation opiso_baseline opiso_designs opiso_lower)
+set(OPISO_BENCH_LIBS opiso_isolation opiso_baseline opiso_designs opiso_lower opiso_obs)
 
 function(opiso_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+
 namespace opiso {
 
 BddManager::BddManager() {
@@ -14,10 +16,25 @@ BddManager::BddManager() {
   one_ = BddRef{1};
 }
 
+BddManager::~BddManager() {
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("bdd.managers").add(1);
+  m.counter("bdd.nodes_allocated").add(nodes_.size() - 2);  // minus terminals
+  m.counter("bdd.unique_hits").add(stats_.unique_hits);
+  m.counter("bdd.unique_misses").add(stats_.unique_misses);
+  m.counter("bdd.ite_calls").add(stats_.ite_calls);
+  m.counter("bdd.ite_cache_hits").add(stats_.ite_cache_hits);
+  m.gauge("bdd.last_unique_table_size").set(static_cast<double>(nodes_.size()));
+}
+
 BddRef BddManager::make_node(BoolVar var, BddRef low, BddRef high) {
   if (low == high) return low;  // reduction rule
   Key key{var, low.value(), high.value()};
-  if (auto it = unique_.find(key); it != unique_.end()) return it->second;
+  if (auto it = unique_.find(key); it != unique_.end()) {
+    ++stats_.unique_hits;
+    return it->second;
+  }
+  ++stats_.unique_misses;
   BddRef ref{static_cast<std::uint32_t>(nodes_.size())};
   nodes_.push_back(Node{var, low, high});
   unique_.emplace(key, ref);
@@ -48,8 +65,12 @@ BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
   if (g == h) return g;
   if (is_one(g) && is_zero(h)) return f;
 
+  ++stats_.ite_calls;
   IteKey key{f.value(), g.value(), h.value()};
-  if (auto it = ite_cache_.find(key); it != ite_cache_.end()) return it->second;
+  if (auto it = ite_cache_.find(key); it != ite_cache_.end()) {
+    ++stats_.ite_cache_hits;
+    return it->second;
+  }
 
   const BoolVar v = top_var(f, g, h);
   BddRef lo = ite(cofactor(f, v, false), cofactor(g, v, false), cofactor(h, v, false));

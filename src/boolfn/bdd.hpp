@@ -30,6 +30,20 @@ using BddRef = StrongId<BddTag>;
 class BddManager {
  public:
   BddManager();
+  /// Flushes the accumulated work counters into the global metrics
+  /// registry (obs) — per-manager stats stay cheap plain members so the
+  /// unique-table/ITE hot paths never touch shared state.
+  ~BddManager();
+
+  /// Work counters of this manager (unique-table and ITE-cache hit
+  /// rates are the classic health indicators of a BDD workload).
+  struct Stats {
+    std::uint64_t unique_hits = 0;    ///< make_node found an existing node
+    std::uint64_t unique_misses = 0;  ///< make_node allocated a new node
+    std::uint64_t ite_calls = 0;      ///< non-terminal ITE invocations
+    std::uint64_t ite_cache_hits = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
   [[nodiscard]] BddRef zero() const { return zero_; }
   [[nodiscard]] BddRef one() const { return one_; }
@@ -126,6 +140,7 @@ class BddManager {
     }
   };
 
+  Stats stats_;
   std::vector<Node> nodes_;
   std::unordered_map<Key, BddRef, KeyHash> unique_;
   std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;

@@ -1,6 +1,7 @@
 #include "isolation/activation.hpp"
 
 #include "netlist/traversal.hpp"
+#include "obs/trace.hpp"
 
 namespace opiso {
 
@@ -80,6 +81,7 @@ ExprRef predict_next_value(const Netlist& nl, ExprPool& pool, NetVarMap& vars, N
 
 ActivationAnalysis derive_activation(const Netlist& nl, ExprPool& pool, NetVarMap& vars,
                                      const ActivationOptions& options) {
+  OPISO_SPAN("activation.derive");
   ActivationAnalysis aa;
   aa.obs.assign(nl.num_nets(), pool.const0());
 

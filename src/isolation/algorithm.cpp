@@ -2,6 +2,8 @@
 
 #include "boolfn/bdd.hpp"
 #include "fsm/reachability.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <iostream>
@@ -79,6 +81,8 @@ double estimate_slack_after_isolation(const Netlist& nl, const DelayModel& dm,
 IsolationResult run_operand_isolation(const Netlist& design, const StimulusFactory& stimuli,
                                       const IsolationOptions& opt) {
   OPISO_REQUIRE(stimuli != nullptr, "run_operand_isolation: stimulus factory required");
+  OPISO_SPAN("isolate.run");
+  obs::metrics().counter("isolate.runs").add(1);
   IsolationResult result;
   result.netlist = design;
   Netlist& nl = result.netlist;
@@ -96,6 +100,8 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
   bool measured_before = false;
 
   for (int iteration = 0; iteration < opt.max_iterations; ++iteration) {
+    OPISO_SPAN("isolate.iteration");
+    obs::metrics().counter("isolate.iterations").add(1);
     // Fresh Boolean universe per iteration: the netlist has changed.
     ExprPool pool;
     NetVarMap vars;
@@ -130,6 +136,8 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
     IterationLog log;
     log.iteration = iteration;
     log.total_power_mw = pb.total_mw;
+    log.pool_size = pool_ids.size();
+    obs::metrics().gauge("isolate.pool_size").set(static_cast<double>(pool_ids.size()));
 
     // Evaluate every still-eligible candidate (lines 18–21), either for
     // the globally chosen style or — with choose_style_per_candidate —
@@ -140,6 +148,7 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
                                           IsolationStyle::Latch}
             : std::vector<IsolationStyle>{opt.style};
     std::vector<CandidateEvaluation> evals;
+    obs::Span span_evaluate("isolate.evaluate");
     for (std::size_t i = 0; i < cands.size(); ++i) {
       const IsolationCandidate& cand = cands[i];
       if (cand.already_isolated || pool_ids.find(cand.cell.value()) == pool_ids.end()) continue;
@@ -181,9 +190,19 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
       }
       evals.push_back(std::move(best));
     }
+    obs::metrics().counter("isolate.candidates_evaluated").add(evals.size());
+    for (const CandidateEvaluation& ev : evals) {
+      obs::metrics().histogram("isolate.h").record(ev.h);
+      obs::metrics().histogram("isolate.primary_savings_mw").record(ev.primary_mw);
+      obs::metrics().histogram("isolate.secondary_savings_mw").record(ev.secondary_mw);
+      if (ev.slack_vetoed) obs::metrics().counter("isolate.slack_vetoes").add(1);
+      if (!ev.legal) obs::metrics().counter("isolate.illegal_candidates").add(1);
+    }
+    span_evaluate.end();
 
     // Per block, isolate the best candidate if worthwhile (lines 22–28).
     std::size_t isolated_count = 0;
+    obs::Span span_commit("isolate.commit");
     std::unordered_set<int> blocks_seen;
     for (const CandidateEvaluation& ev : evals) blocks_seen.insert(ev.block);
     for (int block : blocks_seen) {
@@ -212,22 +231,29 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
         }
         best->isolated_now = true;
         ++isolated_count;
+        obs::metrics().counter("isolate.candidates_isolated").add(1);
+        obs::metrics().histogram("isolate.h_accepted").record(best->h);
         if (opt.verbose) {
           std::cerr << "[opiso] iter " << iteration << ": isolated " << best->cell_name
                     << " (h=" << best->h << ", AS = " << best->activation_str << ")\n";
         }
+      } else {
+        obs::metrics().counter("isolate.candidates_rejected").add(1);
       }
       pool_ids.erase(best->cell.value());  // line 28: consumed either way
     }
+    span_commit.end();
 
     log.evaluations = std::move(evals);
     log.num_isolated = isolated_count;
+    if (opt.on_iteration) opt.on_iteration(log);
     result.iterations.push_back(std::move(log));
     if (isolated_count == 0) break;  // until !isolation (line 30)
   }
 
   // Final metrics on the transformed design.
   {
+    OPISO_SPAN("isolate.final_measure");
     Simulator sim(nl);
     std::unique_ptr<Stimulus> stim = stimuli();
     if (opt.warmup_cycles > 0) sim.warmup(*stim, opt.warmup_cycles);

@@ -29,6 +29,8 @@
 
 namespace opiso {
 
+struct IterationLog;
+
 struct IsolationOptions {
   IsolationStyle style = IsolationStyle::And;
   /// Evaluate all three bank styles per candidate and pick the one with
@@ -65,6 +67,11 @@ struct IsolationOptions {
   DelayModel delay{};
   MacroPowerModel power{};
   AreaModel area{};
+
+  /// Observability hook: invoked after each iteration's log is complete
+  /// (before the algorithm decides whether to stop). Drives `--progress`
+  /// in the CLI; keep it cheap — it runs inside the optimization loop.
+  std::function<void(const IterationLog&)> on_iteration;
 };
 
 /// Per-candidate evaluation snapshot from one iteration.
@@ -91,6 +98,7 @@ struct CandidateEvaluation {
 struct IterationLog {
   int iteration = 0;
   double total_power_mw = 0.0;
+  std::size_t pool_size = 0;  ///< candidates still eligible at iteration start
   std::vector<CandidateEvaluation> evaluations;
   std::size_t num_isolated = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace opiso {
 
 bool CandidateConfig::kind_matches(CellKind kind) const {
@@ -13,6 +15,7 @@ std::vector<IsolationCandidate> identify_candidates(const Netlist& nl,
                                                     const ActivationAnalysis& analysis,
                                                     const ExprPool& pool,
                                                     const CandidateConfig& config) {
+  OPISO_SPAN("candidates.identify");
   const std::vector<int> block_of = block_index_of_cells(nl, blocks);
   std::vector<IsolationCandidate> result;
   for (CellId id : nl.cell_ids()) {

@@ -1,0 +1,334 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace opiso::obs {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    os << "null";
+    return;
+  }
+  if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    os << static_cast<long long>(d);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  os << buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    std::ostringstream os;
+    os << "JSON parse error at offset " << pos_ << ": " << why;
+    throw ParseError(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our own writer; decode them permissively as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    try {
+      std::size_t used = 0;
+      const double d = std::stod(token, &used);
+      if (used != token.size()) fail("malformed number");
+      return JsonValue(d);
+    } catch (const std::logic_error&) {
+      fail("malformed number");
+    }
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      JsonValue obj = JsonValue::object();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return obj;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        obj[key] = parse_value();
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return obj;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      JsonValue arr = JsonValue::array();
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return arr;
+      }
+      while (true) {
+        arr.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return arr;
+      }
+    }
+    if (c == '"') return JsonValue(parse_string());
+    if (consume_literal("true")) return JsonValue(true);
+    if (consume_literal("false")) return JsonValue(false);
+    if (consume_literal("null")) return JsonValue();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return parse_number();
+    fail("unexpected character");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  OPISO_REQUIRE(kind_ == Kind::Bool, "JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  OPISO_REQUIRE(kind_ == Kind::Number, "JsonValue: not a number");
+  return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+  OPISO_REQUIRE(kind_ == Kind::String, "JsonValue: not a string");
+  return str_;
+}
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  OPISO_REQUIRE(kind_ == Kind::Object, "JsonValue: not an object");
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(std::string(key), JsonValue());
+  return members_.back().second;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  OPISO_REQUIRE(kind_ == Kind::Object, "JsonValue: not an object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  throw Error("JsonValue: missing key '" + std::string(key) + "'");
+}
+
+bool JsonValue::contains(std::string_view key) const {
+  if (kind_ != Kind::Object) return false;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  OPISO_REQUIRE(kind_ == Kind::Array, "JsonValue: not an array");
+  elements_.push_back(std::move(v));
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  OPISO_REQUIRE(kind_ == Kind::Array && index < elements_.size(),
+                "JsonValue: array index out of range");
+  return elements_[index];
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::Array) return elements_.size();
+  if (kind_ == Kind::Object) return members_.size();
+  return 0;
+}
+
+void JsonValue::write_indented(std::ostream& os, int indent, int depth) const {
+  const auto pad = [&](int d) {
+    if (indent <= 0) return;
+    os << '\n';
+    for (int i = 0; i < indent * d; ++i) os << ' ';
+  };
+  switch (kind_) {
+    case Kind::Null: os << "null"; break;
+    case Kind::Bool: os << (bool_ ? "true" : "false"); break;
+    case Kind::Number: write_number(os, num_); break;
+    case Kind::String: write_escaped(os, str_); break;
+    case Kind::Array: {
+      if (elements_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i) os << ',';
+        pad(depth + 1);
+        elements_[i].write_indented(os, indent, depth + 1);
+      }
+      pad(depth);
+      os << ']';
+      break;
+    }
+    case Kind::Object: {
+      if (members_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) os << ',';
+        pad(depth + 1);
+        write_escaped(os, members_[i].first);
+        os << (indent > 0 ? ": " : ":");
+        members_[i].second.write_indented(os, indent, depth + 1);
+      }
+      pad(depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void JsonValue::write(std::ostream& os, int indent) const { write_indented(os, indent, 0); }
+
+std::string JsonValue::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+JsonValue JsonValue::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace opiso::obs

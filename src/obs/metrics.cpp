@@ -1,0 +1,143 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace opiso::obs {
+
+namespace {
+
+/// Bucket index for a histogram value: powers of two centered so that
+/// values in (2^(k-1), 2^k] land in the bucket labeled 2^k. Values ≤ 0
+/// share the lowest bucket; tiny/huge magnitudes clamp at the ends.
+int bucket_index(double v) {
+  if (!(v > 0.0)) return 0;
+  const int e = static_cast<int>(std::ceil(std::log2(v)));
+  const int idx = e + 32;
+  if (idx < 1) return 1;
+  if (idx > 63) return 63;
+  return idx;
+}
+
+}  // namespace
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[bucket_index(v)];
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+JsonValue Histogram::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue h = JsonValue::object();
+  h["count"] = count_;
+  h["sum"] = sum_;
+  h["min"] = min_;
+  h["max"] = max_;
+  h["mean"] = count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  JsonValue buckets = JsonValue::array();
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    JsonValue b = JsonValue::object();
+    b["le"] = std::pow(2.0, i - 32);
+    b["count"] = buckets_[i];
+    buckets.push_back(std::move(b));
+  }
+  h["buckets"] = std::move(buckets);
+  return h;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  for (auto& b : buckets_) b = 0;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+JsonValue MetricsRegistry::snapshot() const {
+  // Group dotted names into a two-level object: "bdd.unique_hits" →
+  // snapshot["bdd"]["unique_hits"]. Undotted names stay at top level.
+  JsonValue snap = JsonValue::object();
+  const auto place = [&snap](const std::string& name, JsonValue v) {
+    const std::size_t dot = name.find('.');
+    if (dot == std::string::npos) {
+      snap[name] = std::move(v);
+    } else {
+      snap[name.substr(0, dot)][name.substr(dot + 1)] = std::move(v);
+    }
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) place(name, JsonValue(c->value()));
+  for (const auto& [name, g] : gauges_) place(name, JsonValue(g->value()));
+  for (const auto& [name, h] : histograms_) place(name, h->to_json());
+  return snap;
+}
+
+}  // namespace opiso::obs

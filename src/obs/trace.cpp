@@ -1,0 +1,88 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace opiso::obs {
+
+namespace {
+thread_local int t_depth = 0;
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           epoch_)
+          .count());
+}
+
+void Tracer::record(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns, int depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{std::move(name), start_ns, dur_ns, depth});
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  JsonValue doc = JsonValue::object();
+  JsonValue& events = doc["traceEvents"];
+  events = JsonValue::array();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TraceEvent& e : events_) {
+      JsonValue ev = JsonValue::object();
+      ev["name"] = e.name;
+      ev["ph"] = "X";
+      ev["pid"] = 1;
+      ev["tid"] = 1;
+      // Chrome trace timestamps/durations are microseconds.
+      ev["ts"] = static_cast<double>(e.start_ns) / 1000.0;
+      ev["dur"] = static_cast<double>(e.dur_ns) / 1000.0;
+      ev["args"]["depth"] = e.depth;
+      events.push_back(std::move(ev));
+    }
+  }
+  doc["displayTimeUnit"] = "ms";
+  doc.write(os, 1);
+  os << '\n';
+}
+
+Span::Span(const char* name) : name_(name) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  depth_ = t_depth++;
+  start_ns_ = tracer.now_ns();
+}
+
+void Span::end() {
+  if (!active_) return;
+  active_ = false;
+  Tracer& tracer = Tracer::instance();
+  const std::uint64_t end_ns = tracer.now_ns();
+  --t_depth;
+  tracer.record(name_, start_ns_, end_ns - start_ns_, depth_);
+}
+
+}  // namespace opiso::obs

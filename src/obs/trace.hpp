@@ -1,0 +1,95 @@
+#pragma once
+// Structured tracing: nested RAII spans over the pipeline's phases.
+//
+// Usage at an instrumentation point:
+//
+//   void simulate(...) {
+//     OPISO_SPAN("sim.run");
+//     ...
+//   }
+//
+// The span records a begin timestamp on construction and a complete
+// ("ph":"X") event on destruction. Events carry the nesting depth of
+// the recording thread, and write_chrome_trace() serializes them in the
+// Chrome trace-event JSON format (load via chrome://tracing, Perfetto,
+// or speedscope).
+//
+// Cost model: tracing is globally disabled by default. A disabled span
+// is one relaxed atomic load in the constructor and a branch in the
+// destructor — safe to leave in hot(ish) paths such as per-iteration
+// loops. Do not put spans inside per-cycle or per-BDD-node code; those
+// layers accumulate plain counters instead (see metrics.hpp).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace opiso::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t start_ns = 0;  ///< since the tracer's epoch (steady clock)
+  std::uint64_t dur_ns = 0;
+  int depth = 0;  ///< nesting level of the recording thread at begin
+};
+
+class Tracer {
+ public:
+  /// Process-wide tracer used by OPISO_SPAN.
+  static Tracer& instance();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since the tracer's construction (steady clock).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  void record(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns, int depth);
+
+  /// Snapshot of all recorded events (copies under the lock).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t num_events() const;
+  void clear();
+
+  /// Serialize in Chrome trace-event format ({"traceEvents": [...]}).
+  void write_chrome_trace(std::ostream& os) const;
+
+  Tracer();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span. Captures the start time if tracing is enabled at
+/// construction; records on destruction (or at an explicit end() for
+/// regions that stop before scope exit). Not copyable/movable — bind it
+/// to a scope via OPISO_SPAN, or name it and call end().
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Record the span now; the destructor becomes a no-op.
+  void end();
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  int depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace opiso::obs
+
+#define OPISO_OBS_CONCAT2(a, b) a##b
+#define OPISO_OBS_CONCAT(a, b) OPISO_OBS_CONCAT2(a, b)
+#define OPISO_SPAN(name) ::opiso::obs::Span OPISO_OBS_CONCAT(opiso_span_, __COUNTER__){name}

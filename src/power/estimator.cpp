@@ -1,5 +1,8 @@
 #include "power/estimator.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace opiso {
 
 std::vector<double> PowerEstimator::input_toggle_rates(const Netlist& nl,
@@ -20,6 +23,9 @@ double PowerEstimator::cell_power_mw(const Netlist& nl, const ActivityStats& sta
 }
 
 PowerBreakdown PowerEstimator::estimate(const Netlist& nl, const ActivityStats& stats) const {
+  OPISO_SPAN("power.estimate");
+  obs::metrics().counter("power.estimates").add(1);
+  obs::metrics().counter("power.cells_evaluated").add(nl.num_cells());
   PowerBreakdown pb;
   pb.cell_mw.assign(nl.num_cells(), 0.0);
   for (CellId id : nl.cell_ids()) {

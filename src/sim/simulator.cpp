@@ -1,9 +1,13 @@
 #include "sim/simulator.hpp"
 
 #include <bit>
+#include <chrono>
+#include <numeric>
 #include <ostream>
 
 #include "netlist/traversal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace opiso {
@@ -199,6 +203,10 @@ void Simulator::write_vcd_cycle() {
 }
 
 void Simulator::run(Stimulus& stim, std::uint64_t cycles) {
+  OPISO_SPAN("sim.run");
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t toggles_start =
+      std::accumulate(stats_.toggles.begin(), stats_.toggles.end(), std::uint64_t{0});
   if (vcd_ && !vcd_header_written_) {
     write_vcd_header();
     vcd_header_written_ = true;
@@ -215,6 +223,23 @@ void Simulator::run(Stimulus& stim, std::uint64_t cycles) {
     prev_ = value_;
     has_prev_ = true;
     ++cycle_;
+  }
+  // Flush run totals to the metrics registry (coarse boundary: once per
+  // run() call, never per cycle).
+  const std::uint64_t run_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           wall_start)
+          .count());
+  const std::uint64_t toggles_end =
+      std::accumulate(stats_.toggles.begin(), stats_.toggles.end(), std::uint64_t{0});
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("sim.runs").add(1);
+  m.counter("sim.cycles").add(cycles);
+  m.counter("sim.run_ns").add(run_ns);
+  m.counter("sim.toggles").add(toggles_end - toggles_start);
+  if (run_ns > 0) {
+    m.gauge("sim.cycles_per_sec").set(static_cast<double>(cycles) * 1e9 /
+                                      static_cast<double>(run_ns));
   }
 }
 

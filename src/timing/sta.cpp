@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "netlist/traversal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace opiso {
 
@@ -16,6 +18,8 @@ bool is_launch(CellKind kind) {
 }  // namespace
 
 TimingReport run_sta(const Netlist& nl, const DelayModel& dm) {
+  OPISO_SPAN("sta.run");
+  std::uint64_t node_visits = 0;
   TimingReport rep;
   rep.arrival.assign(nl.num_nets(), 0.0);
   rep.required.assign(nl.num_nets(), kInf);
@@ -25,6 +29,7 @@ TimingReport run_sta(const Netlist& nl, const DelayModel& dm) {
 
   // Forward: arrival times.
   for (CellId id : order) {
+    ++node_visits;
     const Cell& c = nl.cell(id);
     if (!c.out.valid()) continue;
     const double load =
@@ -61,6 +66,7 @@ TimingReport run_sta(const Netlist& nl, const DelayModel& dm) {
   // Propagate required times backward through combinational cells in
   // reverse topological order.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    ++node_visits;
     const Cell& c = nl.cell(*it);
     if (is_launch(c.kind) || c.kind == CellKind::PrimaryOutput || !c.out.valid()) continue;
     const double load =
@@ -79,6 +85,9 @@ TimingReport run_sta(const Netlist& nl, const DelayModel& dm) {
     rep.worst_slack = std::min(rep.worst_slack, rep.slack[n]);
   }
   if (rep.worst_slack == kInf) rep.worst_slack = dm.clock_period_ns;
+
+  obs::metrics().counter("sta.runs").add(1);
+  obs::metrics().counter("sta.node_visits").add(node_visits);
   return rep;
 }
 

@@ -1,0 +1,230 @@
+// Observability layer: JSON round-trips, span tracing, metrics
+// registry, run reports.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "designs/designs.hpp"
+#include "isolation/algorithm.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
+
+namespace opiso::obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, BuildAndDump) {
+  JsonValue doc = JsonValue::object();
+  doc["name"] = "opiso";
+  doc["count"] = std::uint64_t{42};
+  doc["pi"] = 3.5;
+  doc["ok"] = true;
+  doc["nothing"] = JsonValue();
+  doc["list"].push_back(1);
+  doc["list"].push_back("two");
+  EXPECT_EQ(doc.dump(),
+            R"({"name":"opiso","count":42,"pi":3.5,"ok":true,"nothing":null,"list":[1,"two"]})");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      R"({"a": [1, 2.5, -3e2, true, false, null], "s": "q\"uo\\te\n", "nested": {"x": {}}})";
+  const JsonValue v = JsonValue::parse(text);
+  EXPECT_EQ(v.at("a").size(), 6u);
+  EXPECT_DOUBLE_EQ(v.at("a").at(2).as_number(), -300.0);
+  EXPECT_EQ(v.at("s").as_string(), "q\"uo\\te\n");
+  // dump → parse → dump is a fixed point.
+  const std::string once = v.dump();
+  EXPECT_EQ(JsonValue::parse(once).dump(), once);
+  // Pretty-printed output parses back to the same document.
+  EXPECT_EQ(JsonValue::parse(v.dump(2)).dump(), once);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(JsonValue::parse(""), ParseError);
+  EXPECT_THROW(JsonValue::parse("{"), ParseError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), ParseError);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), ParseError);
+  EXPECT_THROW(JsonValue::parse("nul"), ParseError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), ParseError);
+}
+
+TEST(Json, IntegersStayIntegers) {
+  JsonValue v(std::uint64_t{16384});
+  EXPECT_EQ(v.dump(), "16384");
+  EXPECT_DOUBLE_EQ(JsonValue::parse("16384").as_number(), 16384.0);
+}
+
+// --------------------------------------------------------------- Trace
+
+TEST(Trace, DisabledModeProducesZeroOutput) {
+  Tracer& tracer = Tracer::instance();
+  tracer.set_enabled(false);
+  tracer.clear();
+  {
+    OPISO_SPAN("outer");
+    OPISO_SPAN("inner");
+  }
+  EXPECT_EQ(tracer.num_events(), 0u);
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.at("traceEvents").size(), 0u);
+}
+
+TEST(Trace, SpanNestingAndMonotonicity) {
+  Tracer& tracer = Tracer::instance();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    OPISO_SPAN("outer");
+    {
+      OPISO_SPAN("inner_a");
+    }
+    {
+      OPISO_SPAN("inner_b");
+    }
+  }
+  tracer.set_enabled(false);
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);  // recorded at end: inner_a, inner_b, outer
+  EXPECT_EQ(events[0].name, "inner_a");
+  EXPECT_EQ(events[1].name, "inner_b");
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].depth, 0);
+  // Children start no earlier than the parent and end within it.
+  const TraceEvent& outer = events[2];
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_GE(events[i].start_ns, outer.start_ns);
+    EXPECT_LE(events[i].start_ns + events[i].dur_ns, outer.start_ns + outer.dur_ns);
+  }
+  // inner_b begins after inner_a ended (steady clock is monotonic).
+  EXPECT_GE(events[1].start_ns, events[0].start_ns + events[0].dur_ns);
+  tracer.clear();
+}
+
+TEST(Trace, ChromeTraceShape) {
+  Tracer& tracer = Tracer::instance();
+  tracer.clear();
+  tracer.set_enabled(true);
+  { OPISO_SPAN("phase"); }
+  tracer.set_enabled(false);
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  ASSERT_EQ(doc.at("traceEvents").size(), 1u);
+  const JsonValue& ev = doc.at("traceEvents").at(0);
+  EXPECT_EQ(ev.at("name").as_string(), "phase");
+  EXPECT_EQ(ev.at("ph").as_string(), "X");
+  EXPECT_TRUE(ev.at("ts").is_number());
+  EXPECT_TRUE(ev.at("dur").is_number());
+  tracer.clear();
+}
+
+// ------------------------------------------------------------- Metrics
+
+TEST(Metrics, CounterRegistryThreadSafety) {
+  MetricsRegistry& m = metrics();
+  m.counter("test_obs.concurrent").reset();
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m] {
+      // Re-resolve the name per increment: the get-or-create path must
+      // be as thread-safe as the increment itself.
+      for (int i = 0; i < kIncrements; ++i) m.counter("test_obs.concurrent").add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(m.counter("test_obs.concurrent").value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Metrics, GaugeAndHistogram) {
+  MetricsRegistry& m = metrics();
+  m.gauge("test_obs.gauge").set(2.5);
+  EXPECT_DOUBLE_EQ(m.gauge("test_obs.gauge").value(), 2.5);
+
+  Histogram& h = m.histogram("test_obs.hist");
+  h.reset();
+  for (double v : {0.5, 1.0, 2.0, 4.0, 100.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.5);
+  const JsonValue j = h.to_json();
+  EXPECT_EQ(j.at("count").as_number(), 5.0);
+  EXPECT_TRUE(j.at("buckets").size() >= 1u);
+}
+
+TEST(Metrics, SnapshotGroupsDottedNames) {
+  MetricsRegistry& m = metrics();
+  m.counter("test_obs.snap_a").reset();
+  m.counter("test_obs.snap_a").add(7);
+  const JsonValue snap = m.snapshot();
+  ASSERT_TRUE(snap.contains("test_obs"));
+  EXPECT_EQ(snap.at("test_obs").at("snap_a").as_number(), 7.0);
+}
+
+// ---------------------------------------------------------- Run report
+
+TEST(RunReport, RoundTripsThroughParser) {
+  IsolationOptions opt;
+  opt.sim_cycles = 512;
+  opt.warmup_cycles = 8;
+  const IsolationResult res = run_operand_isolation(
+      make_fig1(8), [] { return std::make_unique<UniformStimulus>(7); }, opt);
+  ASSERT_FALSE(res.iterations.empty());
+
+  std::ostringstream os;
+  write_run_report(os, res, opt);
+  const JsonValue doc = JsonValue::parse(os.str());
+
+  EXPECT_EQ(doc.at("schema").as_string(), "opiso.run_report/v1");
+  EXPECT_EQ(doc.at("design").as_string(), res.netlist.name());
+  EXPECT_EQ(doc.at("options").at("sim_cycles").as_number(), 512.0);
+  EXPECT_DOUBLE_EQ(doc.at("summary").at("power_after_mw").as_number(), res.power_after_mw);
+  EXPECT_EQ(doc.at("summary").at("modules_isolated").as_number(),
+            static_cast<double>(res.records.size()));
+
+  // Per-iteration candidate decision tables mirror the in-memory log.
+  ASSERT_EQ(doc.at("iterations").size(), res.iterations.size());
+  const JsonValue& it0 = doc.at("iterations").at(0);
+  ASSERT_EQ(it0.at("candidates").size(), res.iterations[0].evaluations.size());
+  const CandidateEvaluation& ev0 = res.iterations[0].evaluations[0];
+  const JsonValue& c0 = it0.at("candidates").at(0);
+  EXPECT_EQ(c0.at("cell").as_string(), ev0.cell_name);
+  EXPECT_DOUBLE_EQ(c0.at("h").as_number(), ev0.h);
+  EXPECT_EQ(c0.at("decision").as_string(), candidate_decision(ev0));
+
+  // Counters from the layers the run exercised are present.
+  EXPECT_GT(doc.at("metrics").at("sim").at("cycles").as_number(), 0.0);
+  EXPECT_GT(doc.at("metrics").at("sta").at("runs").as_number(), 0.0);
+  EXPECT_GT(doc.at("metrics").at("bdd").at("managers").as_number(), 0.0);
+
+  // The whole document survives a parse → dump → parse cycle.
+  EXPECT_EQ(JsonValue::parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(RunReport, DecisionStrings) {
+  CandidateEvaluation ev;
+  EXPECT_STREQ(candidate_decision(ev), "rejected");
+  ev.slack_vetoed = true;
+  EXPECT_STREQ(candidate_decision(ev), "slack-veto");
+  ev.legal = false;
+  EXPECT_STREQ(candidate_decision(ev), "illegal");
+  ev.isolated_now = true;
+  EXPECT_STREQ(candidate_decision(ev), "isolated");
+}
+
+}  // namespace
+}  // namespace opiso::obs

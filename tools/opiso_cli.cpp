@@ -11,10 +11,15 @@
 //   opiso lower    <design> [-o out.rtn]        gate-level expansion
 //   opiso verify   <original> <transformed>     BDD equivalence proof
 //
+// Observability (any command): --trace FILE (Chrome-trace JSON),
+// --metrics FILE (metrics snapshot; for isolate: the full run report),
+// --progress (per-iteration one-liners on stderr).
+//
 // <design> is a .rtn structural netlist or a .rtl RTL-language file
 // (chosen by extension).
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,6 +30,9 @@
 #include "lower/gate_level.hpp"
 #include "netlist/stats.hpp"
 #include "netlist/text_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "opt/passes.hpp"
 #include "power/estimator.hpp"
 #include "verify/equiv.hpp"
@@ -34,8 +42,34 @@ namespace {
 using namespace opiso;
 
 [[noreturn]] void usage() {
-  std::cerr << "usage: opiso <stats|dot|activation|power|isolate|optimize|lower|verify> "
-               "<design.rtn|design.rtl> [options]\n";
+  std::cerr <<
+      "usage: opiso <command> <design.rtn|design.rtl> [options]\n"
+      "\n"
+      "commands:\n"
+      "  stats      <design>                  netlist statistics\n"
+      "  dot        <design>                  GraphViz dump to stdout\n"
+      "  activation <design> [--lookahead]    derived activation signals\n"
+      "  power      <design> [--cycles N]     power estimate (uniform stimuli)\n"
+      "  isolate    <design> [-o out.rtn]     run Algorithm 1:\n"
+      "      --style and|or|latch   isolation bank style (default: and)\n"
+      "      --cycles N             simulated cycles per iteration (default: 8192)\n"
+      "      --omega-a X            area weight in the cost function (default: 0.2)\n"
+      "      --h-min X              minimum cost value to isolate (default: 0)\n"
+      "      --slack-threshold NS   reject candidates estimated below this slack\n"
+      "      --lookahead            register-lookahead activation derivation\n"
+      "      --report               print the per-iteration candidate log\n"
+      "  optimize   <design> [-o out.rtn]     optimization passes\n"
+      "  lower      <design> [-o out.rtn]     gate-level expansion\n"
+      "  verify     <original> <transformed>  BDD equivalence proof\n"
+      "\n"
+      "observability (any command):\n"
+      "  --trace FILE     write a Chrome-trace JSON timeline of the run\n"
+      "  --metrics FILE   write a metrics JSON snapshot\n"
+      "                   (isolate: the full run report with per-iteration tables)\n"
+      "  --progress       per-iteration one-liners on stderr (isolate)\n"
+      "\n"
+      "<design> is a .rtn structural netlist or a .rtl RTL-language file\n"
+      "(chosen by extension).\n";
   std::exit(2);
 }
 
@@ -54,6 +88,9 @@ struct Args {
   double slack_threshold = 0.0;
   bool lookahead = false;
   bool report = false;
+  std::string trace_path;
+  std::string metrics_path;
+  bool progress = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -84,6 +121,12 @@ Args parse_args(int argc, char** argv) {
       args.lookahead = true;
     } else if (a == "--report") {
       args.report = true;
+    } else if (a == "--trace") {
+      args.trace_path = value();
+    } else if (a == "--metrics") {
+      args.metrics_path = value();
+    } else if (a == "--progress") {
+      args.progress = true;
     } else if (!a.empty() && a[0] == '-') {
       usage();
     } else {
@@ -102,11 +145,22 @@ void emit(const Args& args, const Netlist& nl) {
   }
 }
 
+void write_json_file(const std::string& path, const obs::JsonValue& doc) {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open '" + path + "' for writing");
+  doc.write(os, 1);
+  os << '\n';
+  std::cerr << "wrote " << path << "\n";
+}
+
 int run(int argc, char** argv) {
   if (argc < 3) usage();
   const std::string cmd = argv[1];
   const Args args = parse_args(argc, argv);
   if (args.positional.empty()) usage();
+  if (!args.trace_path.empty()) obs::Tracer::instance().set_enabled(true);
+  int exit_code = 0;
+  bool metrics_written = false;
   const Netlist design = load_design(args.positional[0]);
 
   if (cmd == "stats") {
@@ -143,10 +197,21 @@ int run(int argc, char** argv) {
     opt.h_min = args.h_min;
     opt.slack_threshold_ns = args.slack_threshold;
     opt.activation.register_lookahead = args.lookahead;
+    if (args.progress) {
+      opt.on_iteration = [](const IterationLog& log) {
+        std::cerr << "[opiso] iter " << log.iteration << ": power "
+                  << log.total_power_mw << " mW, pool " << log.pool_size << ", evaluated "
+                  << log.evaluations.size() << ", isolated " << log.num_isolated << "\n";
+      };
+    }
     const IsolationResult res = run_operand_isolation(
         design, [] { return std::make_unique<UniformStimulus>(1); }, opt);
     std::cerr << format_isolation_summary(res);
     if (args.report) std::cerr << "\n" << format_iteration_log(res);
+    if (!args.metrics_path.empty()) {
+      write_json_file(args.metrics_path, obs::build_run_report(res, opt));
+      metrics_written = true;
+    }
     if (!args.out_path.empty()) emit(args, res.netlist);
   } else if (cmd == "optimize") {
     OptimizeStats stats;
@@ -166,14 +231,26 @@ int run(int argc, char** argv) {
     if (res.equivalent) {
       std::cout << "EQUIVALENT (" << res.obligations_checked << " obligations, "
                 << res.bdd_nodes << " BDD nodes)\n";
-      return 0;
+    } else {
+      std::cout << "NOT EQUIVALENT: " << res.reason << "\n";
+      exit_code = 1;
     }
-    std::cout << "NOT EQUIVALENT: " << res.reason << "\n";
-    return 1;
   } else {
     usage();
   }
-  return 0;
+
+  // Observability artifacts (after the command has run, so counters and
+  // spans cover the whole invocation).
+  if (!args.metrics_path.empty() && !metrics_written) {
+    write_json_file(args.metrics_path, obs::metrics().snapshot());
+  }
+  if (!args.trace_path.empty()) {
+    std::ofstream os(args.trace_path);
+    if (!os) throw Error("cannot open '" + args.trace_path + "' for writing");
+    obs::Tracer::instance().write_chrome_trace(os);
+    std::cerr << "wrote " << args.trace_path << "\n";
+  }
+  return exit_code;
 }
 
 }  // namespace
