@@ -18,6 +18,7 @@
 #include "isolation/algorithm.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace opiso::bench {
 
@@ -41,19 +42,44 @@ struct TableResult {
 };
 
 /// Runs the Algorithm-1 flow once per style (plus the per-candidate
-/// MIXED style extension) and assembles the table.
+/// MIXED style extension) and assembles the table. The style flows are
+/// independent, so they fan out across a thread pool; rows are reduced
+/// in style order, making the table identical to a sequential run.
+/// `stimuli` must therefore be pure (each call returns a fresh,
+/// identically seeded generator) — every caller passes a seed-
+/// constructing lambda, which is exactly that.
 inline TableResult run_style_table(const Netlist& design, const StimulusFactory& stimuli,
                                    IsolationOptions opt, bool include_mixed = true) {
+  struct Flow {
+    std::string label;
+    IsolationOptions opt;
+  };
+  std::vector<Flow> flows;
+  for (IsolationStyle style :
+       {IsolationStyle::And, IsolationStyle::Or, IsolationStyle::Latch}) {
+    opt.style = style;
+    opt.choose_style_per_candidate = false;
+    flows.push_back({std::string(isolation_style_name(style)) + "-isolated", opt});
+  }
+  if (include_mixed) {
+    opt.choose_style_per_candidate = true;
+    flows.push_back({"MIX-isolated", opt});
+  }
+
+  std::vector<IsolationResult> results(flows.size());
+  ThreadPool pool;
+  pool.parallel_for(flows.size(), [&](std::size_t i) {
+    results[i] = run_operand_isolation(design, stimuli, flows[i].opt);
+  });
+
   TableResult table;
-  bool have_baseline = false;
-  auto add_row = [&](const std::string& label, const IsolationResult& res) {
-    if (!have_baseline) {
-      table.baseline = StyleRow{"non-isolated", res.power_before_mw,   0.0,
-                                res.area_before_um2,  0.0, res.slack_before_ns, 0.0, 0};
-      have_baseline = true;
-    }
+  const IsolationResult& first = results.front();
+  table.baseline = StyleRow{"non-isolated", first.power_before_mw,   0.0,
+                            first.area_before_um2,  0.0, first.slack_before_ns, 0.0, 0};
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const IsolationResult& res = results[i];
     StyleRow row;
-    row.label = label;
+    row.label = flows[i].label;
     row.power_mw = res.power_after_mw;
     row.power_red_pct = res.power_reduction_pct();
     row.area_um2 = res.area_after_um2;
@@ -65,17 +91,6 @@ inline TableResult run_style_table(const Netlist& design, const StimulusFactory&
       row.power_trajectory_mw.push_back(log.total_power_mw);
     }
     table.rows.push_back(row);
-  };
-  for (IsolationStyle style :
-       {IsolationStyle::And, IsolationStyle::Or, IsolationStyle::Latch}) {
-    opt.style = style;
-    opt.choose_style_per_candidate = false;
-    add_row(std::string(isolation_style_name(style)) + "-isolated",
-            run_operand_isolation(design, stimuli, opt));
-  }
-  if (include_mixed) {
-    opt.choose_style_per_candidate = true;
-    add_row("MIX-isolated", run_operand_isolation(design, stimuli, opt));
   }
   return table;
 }

@@ -1,7 +1,8 @@
 # One binary per reproduced table/figure (see DESIGN.md experiment index).
 # All binaries land in ${CMAKE_BINARY_DIR}/bench with nothing else, so
 # `for b in build/bench/*; do $b; done` runs the full evaluation.
-set(OPISO_BENCH_LIBS opiso_isolation opiso_baseline opiso_designs opiso_lower opiso_obs)
+set(OPISO_BENCH_LIBS opiso_isolation opiso_baseline opiso_designs opiso_lower opiso_obs
+    opiso_sweep opiso_util)
 
 function(opiso_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
@@ -18,3 +19,17 @@ opiso_add_bench(bench_model_accuracy)
 opiso_add_bench(bench_baselines)
 opiso_add_bench(bench_power_models opiso_lower)
 opiso_add_bench(bench_scaling benchmark::benchmark)
+
+# Bench smoke: the two table benches run in well under a second, so CI
+# (and any local `ctest -L bench-smoke`) regenerates BENCH_table{1,2}.json
+# and gates the reproduced savings against the EXPERIMENTS.md expectations.
+find_package(Python3 COMPONENTS Interpreter QUIET)
+if(Python3_Interpreter_FOUND)
+  add_test(NAME bench_table_tolerances
+           COMMAND sh -c "mkdir -p ${CMAKE_BINARY_DIR}/bench_json && \
+OPISO_BENCH_JSON_DIR=${CMAKE_BINARY_DIR}/bench_json $<TARGET_FILE:bench_table1> && \
+OPISO_BENCH_JSON_DIR=${CMAKE_BINARY_DIR}/bench_json $<TARGET_FILE:bench_table2> && \
+${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/ci/check_bench_tolerances.py \
+${CMAKE_SOURCE_DIR}/ci/bench_tolerances.json ${CMAKE_BINARY_DIR}/bench_json")
+  set_tests_properties(bench_table_tolerances PROPERTIES TIMEOUT 300 LABELS bench-smoke)
+endif()

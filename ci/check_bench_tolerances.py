@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Gate the reproduced Table 1/2 savings against EXPERIMENTS.md.
+
+Usage: check_bench_tolerances.py TOLERANCES.json BENCH_JSON_DIR
+
+Reads BENCH_table1.json / BENCH_table2.json (emitted by bench_table1 /
+bench_table2, schema opiso.bench_table/v1) from BENCH_JSON_DIR and
+compares every row's power_reduction_pct against the expected value in
+TOLERANCES.json. Exits non-zero if any row is missing or drifts by more
+than tolerance_pct_points — so CI fails when a change silently shifts
+the reproduction numbers even though the unit tests still pass.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        spec = json.load(f)
+    if spec.get("schema") != "opiso.bench_tolerances/v1":
+        print(f"error: {sys.argv[1]}: unexpected schema {spec.get('schema')!r}",
+              file=sys.stderr)
+        return 2
+    bench_dir = sys.argv[2]
+    tol = float(spec["tolerance_pct_points"])
+
+    failures = 0
+    for table, expected_rows in sorted(spec["tables"].items()):
+        path = f"{bench_dir}/BENCH_{table}.json"
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except OSError as e:
+            print(f"FAIL {table}: cannot read {path}: {e}")
+            failures += 1
+            continue
+        if doc.get("schema") != "opiso.bench_table/v1":
+            print(f"FAIL {table}: unexpected schema {doc.get('schema')!r}")
+            failures += 1
+            continue
+        measured = {row["label"]: float(row["power_reduction_pct"])
+                    for row in doc.get("rows", [])}
+        for label, expect in sorted(expected_rows.items()):
+            if label not in measured:
+                print(f"FAIL {table}/{label}: row missing from {path}")
+                failures += 1
+                continue
+            got = measured[label]
+            delta = got - float(expect)
+            verdict = "ok  " if abs(delta) <= tol else "FAIL"
+            print(f"{verdict} {table}/{label}: measured {got:6.2f}%  "
+                  f"expected {expect:5.1f}%  delta {delta:+5.2f} "
+                  f"(tolerance +/-{tol})")
+            if abs(delta) > tol:
+                failures += 1
+
+    if failures:
+        print(f"\n{failures} row(s) outside tolerance — the reproduced "
+              "Table 1/2 savings drifted from EXPERIMENTS.md.")
+        return 1
+    print("\nall rows within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

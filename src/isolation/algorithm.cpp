@@ -4,6 +4,7 @@
 #include "fsm/reachability.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/parallel_sim.hpp"
 
 #include <algorithm>
 #include <iostream>
@@ -40,6 +41,32 @@ std::size_t expr_depth(const ExprPool& pool, ExprRef r) {
     return d;
   };
   return go(r);
+}
+
+/// One measurement round on either engine. The parallel engine splits
+/// sim_cycles (and warmup) across its lanes so the sampled cycle count —
+/// and hence the statistical weight of the estimates — matches the
+/// scalar path. `register_on` attaches probes before the run.
+ActivityStats measure_activity(const Netlist& nl, const ExprPool* pool, const NetVarMap* vars,
+                               const StimulusFactory& stimuli, const IsolationOptions& opt,
+                               const std::function<void(ProbeHost&)>& register_on) {
+  if (opt.sim_engine == SimEngineKind::Parallel) {
+    OPISO_REQUIRE(opt.lane_stimuli != nullptr,
+                  "run_operand_isolation: parallel engine needs lane_stimuli");
+    ParallelSimulator sim(nl, opt.sim_lanes, pool, vars);
+    if (register_on) register_on(sim);
+    sim.set_stimulus(opt.lane_stimuli);
+    const std::uint64_t lanes = sim.lanes();
+    if (opt.warmup_cycles > 0) sim.warmup((opt.warmup_cycles + lanes - 1) / lanes);
+    sim.run(std::max<std::uint64_t>(1, opt.sim_cycles / lanes));
+    return sim.stats();
+  }
+  Simulator sim(nl, pool, vars);
+  if (register_on) register_on(sim);
+  std::unique_ptr<Stimulus> stim = stimuli();
+  if (opt.warmup_cycles > 0) sim.warmup(*stim, opt.warmup_cycles);
+  sim.run(*stim, opt.sim_cycles);
+  return sim.stats();
 }
 
 }  // namespace
@@ -80,7 +107,12 @@ double estimate_slack_after_isolation(const Netlist& nl, const DelayModel& dm,
 
 IsolationResult run_operand_isolation(const Netlist& design, const StimulusFactory& stimuli,
                                       const IsolationOptions& opt) {
-  OPISO_REQUIRE(stimuli != nullptr, "run_operand_isolation: stimulus factory required");
+  if (opt.sim_engine == SimEngineKind::Parallel) {
+    OPISO_REQUIRE(opt.lane_stimuli != nullptr,
+                  "run_operand_isolation: parallel engine needs lane_stimuli");
+  } else {
+    OPISO_REQUIRE(stimuli != nullptr, "run_operand_isolation: stimulus factory required");
+  }
   OPISO_SPAN("isolate.run");
   obs::metrics().counter("isolate.runs").add(1);
   IsolationResult result;
@@ -121,12 +153,9 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
 
     // Simulate: power estimate + all signal statistics (line 16).
     SavingsEstimator estimator(nl, pool, vars, cands, opt.power);
-    Simulator sim(nl, &pool, &vars);
-    estimator.register_probes(sim);
-    std::unique_ptr<Stimulus> stim = stimuli();
-    if (opt.warmup_cycles > 0) sim.warmup(*stim, opt.warmup_cycles);
-    sim.run(*stim, opt.sim_cycles);
-    const ActivityStats& stats = sim.stats();
+    const ActivityStats stats = measure_activity(
+        nl, &pool, &vars, stimuli, opt,
+        [&estimator](ProbeHost& sim) { estimator.register_probes(sim); });
     const PowerBreakdown pb = PowerEstimator(opt.power).estimate(nl, stats);
     if (!measured_before) {
       result.power_before_mw = pb.total_mw;
@@ -254,11 +283,8 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
   // Final metrics on the transformed design.
   {
     OPISO_SPAN("isolate.final_measure");
-    Simulator sim(nl);
-    std::unique_ptr<Stimulus> stim = stimuli();
-    if (opt.warmup_cycles > 0) sim.warmup(*stim, opt.warmup_cycles);
-    sim.run(*stim, opt.sim_cycles);
-    result.power_after_mw = PowerEstimator(opt.power).estimate(nl, sim.stats()).total_mw;
+    const ActivityStats stats = measure_activity(nl, nullptr, nullptr, stimuli, opt, nullptr);
+    result.power_after_mw = PowerEstimator(opt.power).estimate(nl, stats).total_mw;
   }
   if (!measured_before) {
     // No candidates at all: before == after.

@@ -59,6 +59,16 @@ struct IsolationOptions {
   /// Cycles simulated (and discarded) before statistics collection, so
   /// the reset transient does not skew the measured probabilities.
   std::uint64_t warmup_cycles = 32;
+  /// Engine driving the per-iteration measurements. Scalar is the
+  /// reference path; Parallel packs sim_lanes stimulus streams into one
+  /// bit-sliced pass (sim/parallel_sim.hpp) and splits sim_cycles
+  /// across the lanes, so the statistical sample size is comparable.
+  SimEngineKind sim_engine = SimEngineKind::Scalar;
+  unsigned sim_lanes = 64;
+  /// Per-lane stimulus streams for the parallel engine (lane index →
+  /// fresh generator; seeds should differ per lane). Required when
+  /// sim_engine == Parallel.
+  std::function<std::unique_ptr<Stimulus>(unsigned)> lane_stimuli;
   int max_iterations = 32;
   bool verbose = false;
 

@@ -68,7 +68,7 @@ std::size_t SavingsEstimator::index_of(CellId cell) const {
   throw Error("SavingsEstimator: cell is not a candidate");
 }
 
-void SavingsEstimator::register_probes(Simulator& sim) {
+void SavingsEstimator::register_probes(ProbeHost& sim) {
   OPISO_REQUIRE(!probes_registered_, "register_probes: already registered");
   for (std::size_t i = 0; i < models_.size(); ++i) {
     CandidateModel& m = models_[i];

@@ -47,9 +47,10 @@ class SavingsEstimator {
                    const std::vector<IsolationCandidate>& candidates,
                    const MacroPowerModel& power);
 
-  /// Register all required probes on the simulator (which must share
-  /// `pool`/`vars`). Call before Simulator::run.
-  void register_probes(Simulator& sim);
+  /// Register all required probes on a simulation engine (scalar or
+  /// 64-lane parallel — anything implementing ProbeHost) that shares
+  /// `pool`/`vars`. Call before running the engine.
+  void register_probes(ProbeHost& sim);
 
   /// Pr(!f_i) — probability candidate i computes redundantly.
   [[nodiscard]] double pr_redundant(std::size_t i, const ActivityStats& stats) const;

@@ -43,6 +43,9 @@ PowerBreakdown PowerEstimator::estimate(const Netlist& nl, const ActivityStats& 
       pb.steering_mw += mw;
     }
   }
+  // Distribution across all estimates this run — sweeps over many
+  // (design × seed × config) points read this to spot outlier tasks.
+  obs::metrics().histogram("power.total_mw").record(pb.total_mw);
   return pb;
 }
 

@@ -58,6 +58,37 @@ double ActivityStats::bit_toggle_rate(NetId net, unsigned bit) const {
   return static_cast<double>(bits[bit]) / static_cast<double>(cycles);
 }
 
+void ActivityStats::merge(const ActivityStats& other) {
+  if (toggles.empty() && ones.empty() && probe_true.empty()) {
+    *this = other;
+    return;
+  }
+  OPISO_REQUIRE(toggles.size() == other.toggles.size() && ones.size() == other.ones.size(),
+                "ActivityStats::merge: statistics cover different netlists");
+  OPISO_REQUIRE(probe_true.size() == other.probe_true.size(),
+                "ActivityStats::merge: statistics cover different probe sets");
+  cycles += other.cycles;
+  for (std::size_t n = 0; n < toggles.size(); ++n) toggles[n] += other.toggles[n];
+  for (std::size_t n = 0; n < ones.size(); ++n) ones[n] += other.ones[n];
+  for (std::size_t p = 0; p < probe_true.size(); ++p) {
+    probe_true[p] += other.probe_true[p];
+    probe_toggles[p] += other.probe_toggles[p];
+  }
+  if (!other.bit_toggles.empty()) {
+    if (bit_toggles.empty()) {
+      bit_toggles = other.bit_toggles;
+    } else {
+      OPISO_REQUIRE(bit_toggles.size() == other.bit_toggles.size(),
+                    "ActivityStats::merge: bit statistics cover different netlists");
+      for (std::size_t n = 0; n < bit_toggles.size(); ++n) {
+        for (std::size_t b = 0; b < bit_toggles[n].size(); ++b) {
+          bit_toggles[n][b] += other.bit_toggles[n][b];
+        }
+      }
+    }
+  }
+}
+
 void ActivityStats::reset() {
   cycles = 0;
   std::fill(toggles.begin(), toggles.end(), 0);

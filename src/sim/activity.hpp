@@ -64,6 +64,14 @@ struct ActivityStats {
   [[nodiscard]] double bit_toggle_rate(NetId net, unsigned bit) const;
   [[nodiscard]] bool has_bit_stats() const { return !bit_toggles.empty(); }
 
+  /// Element-wise accumulation of another run's statistics over the
+  /// same netlist (and probe set, if any). Rates computed afterwards
+  /// are averages over the combined cycle count — this is both the
+  /// ordered reduction of the sweep runner and the oracle operation
+  /// that makes N scalar runs comparable to one N-lane parallel run.
+  /// An empty *this adopts the other side's shape.
+  void merge(const ActivityStats& other);
+
   void reset();
 };
 

@@ -1,0 +1,428 @@
+#include "sim/parallel_sim.hpp"
+
+#include <bit>
+#include <chrono>
+
+#include "netlist/traversal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+
+namespace opiso {
+
+// Lane-plane invariant: every stored plane is masked to lane_mask_, so
+// inactive-lane bits are always 0 and popcount-based statistics never
+// see them. Bitwise NOT must therefore re-apply the mask.
+
+ParallelSimulator::ParallelSimulator(const Netlist& nl, unsigned lanes, const ExprPool* pool,
+                                     const NetVarMap* vars)
+    : nl_(nl), pool_(pool), vars_(vars), lanes_(lanes) {
+  OPISO_REQUIRE(lanes >= 1 && lanes <= kMaxLanes, "ParallelSimulator: lanes must be in [1,64]");
+  nl_.validate();
+  lane_mask_ = lanes_ >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << lanes_) - 1);
+  order_ = topological_order(nl_);
+
+  plane_off_.resize(nl_.num_nets());
+  std::size_t planes = 0;
+  for (NetId id : nl_.net_ids()) {
+    plane_off_[id.value()] = planes;
+    planes += nl_.net(id).width;
+  }
+  planes_.assign(planes, 0);
+  prev_.assign(planes, 0);
+
+  state_off_.resize(nl_.num_cells());
+  std::size_t state_planes = 0;
+  for (CellId id : nl_.cell_ids()) {
+    const Cell& c = nl_.cell(id);
+    state_off_[id.value()] = state_planes;
+    if (c.kind == CellKind::Reg || cell_kind_is_latch(c.kind)) state_planes += c.width;
+  }
+  state_.assign(state_planes, 0);
+
+  stats_.toggles.assign(nl_.num_nets(), 0);
+  stats_.ones.assign(nl_.num_nets(), 0);
+}
+
+std::size_t ParallelSimulator::add_probe(ExprRef expr) {
+  OPISO_REQUIRE(pool_ != nullptr && vars_ != nullptr,
+                "ParallelSimulator: probes require an ExprPool and NetVarMap");
+  for (BoolVar v : pool_->support(expr)) {
+    NetId net = vars_->net_of(v);
+    OPISO_REQUIRE(net.value() < nl_.num_nets(), "probe variable bound to foreign net");
+  }
+  probes_.push_back(expr);
+  prev_probe_.push_back(0);
+  stats_.probe_true.push_back(0);
+  stats_.probe_toggles.push_back(0);
+  return probes_.size() - 1;
+}
+
+void ParallelSimulator::set_stimulus(const LaneStimulusFactory& make) {
+  OPISO_REQUIRE(make != nullptr, "ParallelSimulator: null stimulus factory");
+  lane_stims_.clear();
+  lane_stims_.reserve(lanes_);
+  for (unsigned l = 0; l < lanes_; ++l) {
+    lane_stims_.push_back(make(l));
+    OPISO_REQUIRE(lane_stims_.back() != nullptr,
+                  "ParallelSimulator: stimulus factory returned null");
+  }
+}
+
+void ParallelSimulator::enable_bit_stats() {
+  if (!stats_.bit_toggles.empty()) return;
+  stats_.bit_toggles.resize(nl_.num_nets());
+  for (NetId id : nl_.net_ids()) {
+    stats_.bit_toggles[id.value()].assign(nl_.net(id).width, 0);
+  }
+}
+
+namespace {
+
+/// Transpose an 8x8 bit matrix packed row-major into a word (element
+/// (i,j) = bit 8i+j) with three delta-swap rounds (Hacker's Delight).
+inline std::uint64_t transpose8x8(std::uint64_t x) {
+  std::uint64_t t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAull;
+  x = x ^ t ^ (t << 7);
+  t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCull;
+  x = x ^ t ^ (t << 14);
+  t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ull;
+  x = x ^ t ^ (t << 28);
+  return x;
+}
+
+}  // namespace
+
+void ParallelSimulator::drive_inputs() {
+  // Per lane, each stimulus sees the same (PI, cycle) call sequence the
+  // scalar simulator issues — the transposition into planes is pure
+  // bookkeeping, so lane l replays scalar run l exactly. The words are
+  // gathered first and transposed in 8x8 bit blocks: the blocked form
+  // runs in O(width) per 8 lanes instead of O(width) per lane, and
+  // drive_inputs is the one per-lane (non-amortized) stage of the
+  // macro-cycle, so this is the engine's throughput ceiling.
+  std::uint64_t tmp[kMaxLanes];
+  for (CellId pi : nl_.primary_inputs()) {
+    const Cell& c = nl_.cell(pi);
+    const unsigned width = c.width;
+    const std::size_t off = plane_off_[c.out.value()];
+    const std::uint64_t wmask =
+        width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+    for (unsigned l = 0; l < lanes_; ++l) {
+      tmp[l] = lane_stims_[l]->next(nl_, pi, cycle_) & wmask;
+    }
+    for (unsigned l = lanes_; l < kMaxLanes; ++l) tmp[l] = 0;
+    for (unsigned b = 0; b < width; ++b) planes_[off + b] = 0;
+    for (unsigned g = 0; g < kMaxLanes / 8; ++g) {        // lane group g: lanes 8g..8g+7
+      for (unsigned cb = 0; cb * 8 < width; ++cb) {       // byte column cb: bits 8cb..8cb+7
+        std::uint64_t x = 0;
+        for (unsigned i = 0; i < 8; ++i) {
+          x |= ((tmp[8 * g + i] >> (8 * cb)) & 0xFF) << (8 * i);
+        }
+        if (x == 0) continue;
+        x = transpose8x8(x);  // byte j now holds bit 8cb+j of the 8 lanes
+        const unsigned bits = std::min(8u, width - 8 * cb);
+        for (unsigned j = 0; j < bits; ++j) {
+          planes_[off + 8 * cb + j] |= ((x >> (8 * j)) & 0xFF) << (8 * g);
+        }
+      }
+    }
+  }
+}
+
+void ParallelSimulator::settle_combinational() {
+  const std::uint64_t ones = lane_mask_;
+  for (CellId id : order_) {
+    const Cell& c = nl_.cell(id);
+    if (c.kind == CellKind::PrimaryInput || c.kind == CellKind::PrimaryOutput) continue;
+    const unsigned w = c.width;
+    std::uint64_t* out = &planes_[plane_off_[c.out.value()]];
+    switch (c.kind) {
+      case CellKind::PrimaryInput:
+      case CellKind::PrimaryOutput:
+        break;
+      case CellKind::Constant:
+        for (unsigned b = 0; b < w; ++b) out[b] = ((c.param >> b) & 1) ? ones : 0;
+        break;
+      case CellKind::Reg: {
+        const std::uint64_t* st = &state_[state_off_[id.value()]];
+        for (unsigned b = 0; b < w; ++b) out[b] = st[b];
+        break;
+      }
+      case CellKind::Add: {
+        std::uint64_t carry = 0;
+        for (unsigned b = 0; b < w; ++b) {
+          const std::uint64_t a = plane(c.ins[0], b);
+          const std::uint64_t bb = plane(c.ins[1], b);
+          const std::uint64_t axb = a ^ bb;
+          out[b] = axb ^ carry;
+          carry = (a & bb) | (carry & axb);
+        }
+        break;
+      }
+      case CellKind::Sub: {
+        // a - b == a + ~b + 1: carry starts at all-ones; ~b is taken on
+        // the width-masked value, so planes past b's width become ones —
+        // exactly the scalar 64-bit two's-complement pattern.
+        std::uint64_t carry = ones;
+        for (unsigned b = 0; b < w; ++b) {
+          const std::uint64_t a = plane(c.ins[0], b);
+          const std::uint64_t bb = ~plane(c.ins[1], b) & ones;
+          const std::uint64_t axb = a ^ bb;
+          out[b] = axb ^ carry;
+          carry = (a & bb) | (carry & axb);
+        }
+        break;
+      }
+      case CellKind::Mul: {
+        // Shift-and-add over bit planes (mod 2^w, like the scalar path).
+        const unsigned wa = nl_.net(c.ins[0]).width;
+        const unsigned wb = nl_.net(c.ins[1]).width;
+        for (unsigned b = 0; b < w; ++b) out[b] = 0;
+        for (unsigned j = 0; j < wb && j < w; ++j) {
+          const std::uint64_t bj = plane(c.ins[1], j);
+          if (bj == 0) continue;
+          std::uint64_t carry = 0;
+          for (unsigned k = 0; j + k < w; ++k) {
+            const std::uint64_t p = (k < wa ? plane(c.ins[0], k) : 0) & bj;
+            const std::uint64_t cur = out[j + k];
+            const std::uint64_t cxp = cur ^ p;
+            out[j + k] = cxp ^ carry;
+            carry = (cur & p) | (carry & cxp);
+            if (carry == 0 && k >= wa) break;  // nothing left to propagate
+          }
+        }
+        break;
+      }
+      case CellKind::Eq: {
+        const unsigned wmax = std::max(nl_.net(c.ins[0]).width, nl_.net(c.ins[1]).width);
+        std::uint64_t eq = ones;
+        for (unsigned b = 0; b < wmax; ++b) {
+          eq &= ~(plane(c.ins[0], b) ^ plane(c.ins[1], b)) & ones;
+        }
+        out[0] = eq;
+        break;
+      }
+      case CellKind::Lt: {
+        // LSB-to-MSB scan: lt_b = (!a_b & b_b) | (a_b == b_b) & lt_{b-1}.
+        const unsigned wmax = std::max(nl_.net(c.ins[0]).width, nl_.net(c.ins[1]).width);
+        std::uint64_t lt = 0;
+        for (unsigned b = 0; b < wmax; ++b) {
+          const std::uint64_t a = plane(c.ins[0], b);
+          const std::uint64_t bb = plane(c.ins[1], b);
+          lt = ((~a & ones) & bb) | ((~(a ^ bb) & ones) & lt);
+        }
+        out[0] = lt;
+        break;
+      }
+      case CellKind::Shl:
+        for (unsigned b = 0; b < w; ++b) {
+          out[b] = (c.param <= b && c.param < 64) ? plane(c.ins[0], b - static_cast<unsigned>(c.param)) : 0;
+        }
+        break;
+      case CellKind::Shr:
+        for (unsigned b = 0; b < w; ++b) {
+          out[b] = c.param < 64 ? plane(c.ins[0], b + static_cast<unsigned>(c.param)) : 0;
+        }
+        break;
+      case CellKind::Not:
+        for (unsigned b = 0; b < w; ++b) out[b] = ~plane(c.ins[0], b) & ones;
+        break;
+      case CellKind::Buf:
+        for (unsigned b = 0; b < w; ++b) out[b] = plane(c.ins[0], b);
+        break;
+      case CellKind::And:
+        for (unsigned b = 0; b < w; ++b) out[b] = plane(c.ins[0], b) & plane(c.ins[1], b);
+        break;
+      case CellKind::Or:
+        for (unsigned b = 0; b < w; ++b) out[b] = plane(c.ins[0], b) | plane(c.ins[1], b);
+        break;
+      case CellKind::Xor:
+        for (unsigned b = 0; b < w; ++b) out[b] = plane(c.ins[0], b) ^ plane(c.ins[1], b);
+        break;
+      case CellKind::Nand:
+        for (unsigned b = 0; b < w; ++b) {
+          out[b] = ~(plane(c.ins[0], b) & plane(c.ins[1], b)) & ones;
+        }
+        break;
+      case CellKind::Nor:
+        for (unsigned b = 0; b < w; ++b) {
+          out[b] = ~(plane(c.ins[0], b) | plane(c.ins[1], b)) & ones;
+        }
+        break;
+      case CellKind::Xnor:
+        for (unsigned b = 0; b < w; ++b) {
+          out[b] = ~(plane(c.ins[0], b) ^ plane(c.ins[1], b)) & ones;
+        }
+        break;
+      case CellKind::Mux2: {
+        const std::uint64_t sel = plane(c.ins[0], 0);
+        const std::uint64_t nsel = ~sel & ones;
+        for (unsigned b = 0; b < w; ++b) {
+          out[b] = (sel & plane(c.ins[2], b)) | (nsel & plane(c.ins[1], b));
+        }
+        break;
+      }
+      case CellKind::Latch:
+      case CellKind::IsoLatch: {
+        // Transparent per lane while EN = 1; holds otherwise.
+        const std::uint64_t en = plane(c.ins[1], 0);
+        const std::uint64_t nen = ~en & ones;
+        std::uint64_t* st = &state_[state_off_[id.value()]];
+        for (unsigned b = 0; b < w; ++b) {
+          st[b] = (en & plane(c.ins[0], b)) | (nen & st[b]);
+          out[b] = st[b];
+        }
+        break;
+      }
+      case CellKind::IsoAnd: {
+        const std::uint64_t en = plane(c.ins[1], 0);
+        for (unsigned b = 0; b < w; ++b) out[b] = en & plane(c.ins[0], b);
+        break;
+      }
+      case CellKind::IsoOr: {
+        const std::uint64_t en = plane(c.ins[1], 0);
+        const std::uint64_t nen = ~en & ones;
+        for (unsigned b = 0; b < w; ++b) out[b] = (en & plane(c.ins[0], b)) | nen;
+        break;
+      }
+    }
+  }
+}
+
+void ParallelSimulator::clock_registers() {
+  const std::uint64_t ones = lane_mask_;
+  for (CellId id : order_) {
+    const Cell& c = nl_.cell(id);
+    if (c.kind != CellKind::Reg) continue;
+    const std::uint64_t en = plane(c.ins[1], 0);
+    const std::uint64_t nen = ~en & ones;
+    std::uint64_t* st = &state_[state_off_[id.value()]];
+    for (unsigned b = 0; b < c.width; ++b) {
+      st[b] = (en & plane(c.ins[0], b)) | (nen & st[b]);
+    }
+  }
+}
+
+std::uint64_t ParallelSimulator::eval_expr_lanes(ExprRef r) {
+  const std::size_t idx = r.value();
+  if (idx < expr_val_.size() && expr_gen_[idx] == gen_) return expr_val_[idx];
+  const ExprNode& n = pool_->node(r);
+  std::uint64_t v = 0;
+  switch (n.op) {
+    case ExprOp::Const0:
+      v = 0;
+      break;
+    case ExprOp::Const1:
+      v = lane_mask_;
+      break;
+    case ExprOp::Var:
+      v = planes_[plane_off_[vars_->net_of(n.var).value()]];  // plane 0 = bit 0
+      break;
+    case ExprOp::Not:
+      v = ~eval_expr_lanes(n.a) & lane_mask_;
+      break;
+    case ExprOp::And:
+      v = eval_expr_lanes(n.a) & eval_expr_lanes(n.b);
+      break;
+    case ExprOp::Or:
+      v = eval_expr_lanes(n.a) | eval_expr_lanes(n.b);
+      break;
+  }
+  if (idx >= expr_val_.size()) {
+    expr_val_.resize(pool_->num_nodes(), 0);
+    expr_gen_.resize(pool_->num_nodes(), 0);
+  }
+  expr_val_[idx] = v;
+  expr_gen_[idx] = gen_;
+  return v;
+}
+
+void ParallelSimulator::record_stats() {
+  const bool bits = !stats_.bit_toggles.empty();
+  for (NetId id : nl_.net_ids()) {
+    const std::size_t n = id.value();
+    const unsigned width = nl_.net(id).width;
+    const std::size_t off = plane_off_[n];
+    if (has_prev_) {
+      std::uint64_t total = 0;
+      for (unsigned b = 0; b < width; ++b) {
+        const std::uint64_t diff = planes_[off + b] ^ prev_[off + b];
+        const auto pc = static_cast<std::uint64_t>(std::popcount(diff));
+        total += pc;
+        if (bits) stats_.bit_toggles[n][b] += pc;
+      }
+      stats_.toggles[n] += total;
+    }
+    stats_.ones[n] += static_cast<std::uint64_t>(std::popcount(planes_[off]));
+  }
+  if (!probes_.empty()) {
+    ++gen_;
+    for (std::size_t p = 0; p < probes_.size(); ++p) {
+      const std::uint64_t hold = eval_expr_lanes(probes_[p]);
+      stats_.probe_true[p] += static_cast<std::uint64_t>(std::popcount(hold));
+      if (has_prev_) {
+        stats_.probe_toggles[p] +=
+            static_cast<std::uint64_t>(std::popcount(hold ^ prev_probe_[p]));
+      }
+      prev_probe_[p] = hold;
+    }
+  }
+  stats_.cycles += lanes_;
+}
+
+void ParallelSimulator::run(std::uint64_t cycles) {
+  OPISO_REQUIRE(lane_stims_.size() == lanes_,
+                "ParallelSimulator::run: set_stimulus() must be called first");
+  OPISO_SPAN("sim.parallel.run");
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < cycles; ++i) {
+    // Every net plane is rewritten below (PO cells drive no net), so
+    // last cycle's values are retired into prev_ by pointer swap rather
+    // than a copy; planes_ keeps the final values once run() returns.
+    if (has_prev_) std::swap(prev_, planes_);
+    drive_inputs();
+    settle_combinational();
+    record_stats();
+    clock_registers();
+    has_prev_ = true;
+    ++cycle_;
+  }
+  // Coarse-boundary metrics flush (once per run(), never per cycle).
+  const std::uint64_t run_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           wall_start)
+          .count());
+  const std::uint64_t lane_cycles = cycles * lanes_;
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("sim.parallel.runs").add(1);
+  m.counter("sim.parallel.cycles").add(cycles);
+  m.counter("sim.parallel.lane_cycles").add(lane_cycles);
+  m.counter("sim.parallel.run_ns").add(run_ns);
+  if (run_ns > 0) {
+    m.gauge("sim.parallel.lanes_per_sec")
+        .set(static_cast<double>(lane_cycles) * 1e9 / static_cast<double>(run_ns));
+  }
+}
+
+void ParallelSimulator::reset_state() {
+  std::fill(planes_.begin(), planes_.end(), 0);
+  std::fill(prev_.begin(), prev_.end(), 0);
+  std::fill(state_.begin(), state_.end(), 0);
+  has_prev_ = false;
+  cycle_ = 0;
+}
+
+std::uint64_t ParallelSimulator::lane_value(NetId net, unsigned lane) const {
+  OPISO_REQUIRE(net.valid() && net.value() < nl_.num_nets(), "lane_value: invalid net");
+  OPISO_REQUIRE(lane < lanes_, "lane_value: lane out of range");
+  const unsigned width = nl_.net(net).width;
+  const std::size_t off = plane_off_[net.value()];
+  std::uint64_t v = 0;
+  for (unsigned b = 0; b < width; ++b) {
+    v |= ((planes_[off + b] >> lane) & 1) << b;
+  }
+  return v;
+}
+
+}  // namespace opiso

@@ -1,0 +1,121 @@
+#pragma once
+// Bit-parallel 64-lane cycle simulator.
+//
+// Packs up to 64 independent stimulus streams ("lanes") into one
+// std::uint64_t per net *bit*: plane b of a net holds bit b of that
+// net's value across all lanes. One levelized pass over the netlist
+// then advances every lane by one cycle. Word-level arithmetic is
+// evaluated bit-sliced — ripple-carry adders/subtractors, shift-and-add
+// multipliers, bitwise comparators — so the engine does the work of up
+// to 64 scalar simulators while touching each cell once per pass, and
+// toggle counting degenerates to popcount(prev ^ cur) per plane.
+//
+// Contract (held by tests/test_sim_parallel.cpp and the fuzz suite):
+// running lanes L with stimulus streams s_0..s_{L-1} for C cycles
+// produces ActivityStats *bitwise identical* to running the scalar
+// Simulator once per lane with the same stream for C cycles and merging
+// the per-lane stats (ActivityStats::merge). This makes the scalar
+// engine the differential-testing oracle (`--sim=scalar`).
+//
+// Probes evaluate lane-parallel over plane 0 of their variables'
+// nets: one memoized DAG walk per cycle instead of one per lane.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "boolfn/expr.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/activity.hpp"
+#include "sim/engine.hpp"
+#include "sim/stimulus.hpp"
+
+namespace opiso {
+
+class ParallelSimulator : public ProbeHost {
+ public:
+  static constexpr unsigned kMaxLanes = 64;
+
+  /// One independent stimulus stream per lane. Lane seeds should differ
+  /// per lane or every lane simulates the same trajectory.
+  using LaneStimulusFactory = std::function<std::unique_ptr<Stimulus>(unsigned lane)>;
+
+  /// The netlist must outlive the simulator; `lanes` in [1, 64].
+  /// `pool`/`vars` (optional, must outlive the simulator) enable Expr
+  /// probes, exactly as in the scalar Simulator.
+  explicit ParallelSimulator(const Netlist& nl, unsigned lanes = kMaxLanes,
+                             const ExprPool* pool = nullptr, const NetVarMap* vars = nullptr);
+
+  std::size_t add_probe(ExprRef expr) override;
+
+  /// Instantiate one stimulus stream per lane (replacing any previous
+  /// streams). Stream state persists across run() calls, mirroring the
+  /// scalar simulator's external Stimulus objects.
+  void set_stimulus(const LaneStimulusFactory& make);
+
+  /// Simulate `cycles` cycles in every lane (lanes() * cycles
+  /// lane-cycles total). Statistics accumulate; lane state persists.
+  void run(std::uint64_t cycles);
+
+  /// Run then drop statistics: flushes the reset transient.
+  void warmup(std::uint64_t cycles) {
+    run(cycles);
+    reset_stats();
+  }
+
+  void reset_stats() { stats_.reset(); }
+  /// Reset circuit state in all lanes (keeps stimulus streams).
+  void reset_state();
+  /// Collect per-bit toggle counts (dual-bit-type power models).
+  void enable_bit_stats();
+
+  [[nodiscard]] const ActivityStats& stats() const { return stats_; }
+  [[nodiscard]] unsigned lanes() const { return lanes_; }
+  [[nodiscard]] const Netlist& netlist() const { return nl_; }
+
+  /// Current value of `net` in one lane (reassembled from the planes;
+  /// for tests and debugging).
+  [[nodiscard]] std::uint64_t lane_value(NetId net, unsigned lane) const;
+
+ private:
+  void drive_inputs();
+  void settle_combinational();
+  void clock_registers();
+  void record_stats();
+  [[nodiscard]] std::uint64_t eval_expr_lanes(ExprRef r);
+
+  // Plane of bit b of `net`'s *current* value, zero-extended past the
+  // net's width (scalar values are width-masked, so high planes are 0).
+  [[nodiscard]] std::uint64_t plane(NetId net, unsigned b) const {
+    return b < nl_.net(net).width ? planes_[plane_off_[net.value()] + b] : 0;
+  }
+
+  const Netlist& nl_;
+  const ExprPool* pool_;
+  const NetVarMap* vars_;
+  unsigned lanes_;
+  std::uint64_t lane_mask_;
+  std::vector<CellId> order_;  ///< topological order
+
+  std::vector<std::size_t> plane_off_;   ///< per net: offset into planes_
+  std::vector<std::uint64_t> planes_;    ///< current value, one word per net bit
+  std::vector<std::uint64_t> prev_;      ///< previous-cycle planes
+  std::vector<std::size_t> state_off_;   ///< per cell: offset into state_ (stateful kinds)
+  std::vector<std::uint64_t> state_;     ///< reg/latch held planes
+
+  std::vector<std::unique_ptr<Stimulus>> lane_stims_;
+  std::vector<ExprRef> probes_;
+  std::vector<std::uint64_t> prev_probe_;  ///< per probe: previous lane word
+
+  // Per-cycle probe memoization over the hash-consed Expr DAG.
+  std::vector<std::uint64_t> expr_val_;
+  std::vector<std::uint64_t> expr_gen_;
+  std::uint64_t gen_ = 0;
+
+  ActivityStats stats_;
+  std::uint64_t cycle_ = 0;
+  bool has_prev_ = false;
+};
+
+}  // namespace opiso

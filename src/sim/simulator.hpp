@@ -20,11 +20,12 @@
 #include "boolfn/expr.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/activity.hpp"
+#include "sim/engine.hpp"
 #include "sim/stimulus.hpp"
 
 namespace opiso {
 
-class Simulator {
+class Simulator : public ProbeHost {
  public:
   /// The netlist must outlive the simulator and is validated here.
   /// `pool`/`vars` (both optional, must outlive the simulator when
@@ -34,7 +35,7 @@ class Simulator {
 
   /// Register an expression to be evaluated each cycle. Returns the
   /// probe index used with ActivityStats::probe_probability.
-  std::size_t add_probe(ExprRef expr);
+  std::size_t add_probe(ExprRef expr) override;
 
   /// Simulate `cycles` cycles, drawing inputs from `stim`. Statistics
   /// accumulate; state (registers/latches) persists across calls.

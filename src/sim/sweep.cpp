@@ -1,0 +1,125 @@
+#include "sim/sweep.hpp"
+
+#include <chrono>
+#include <numeric>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "power/estimator.hpp"
+#include "support/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace opiso {
+
+namespace {
+
+std::unique_ptr<Stimulus> make_task_stimulus(const SweepTask& task, std::uint64_t lane_seed) {
+  if (task.make_stimulus) return task.make_stimulus(lane_seed);
+  return std::make_unique<UniformStimulus>(lane_seed);
+}
+
+}  // namespace
+
+SweepResult run_sweep_task(const SweepTask& task) {
+  OPISO_REQUIRE(task.make_design != nullptr, "sweep task '" + task.design + "': no design");
+  OPISO_REQUIRE(task.lanes >= 1 && task.lanes <= ParallelSimulator::kMaxLanes,
+                "sweep task '" + task.design + "': lanes must be in [1,64]");
+  const Netlist nl = task.make_design();
+  ActivityStats stats;
+  if (task.engine == SimEngineKind::Parallel) {
+    ParallelSimulator sim(nl, task.lanes);
+    sim.set_stimulus([&](unsigned lane) {
+      return make_task_stimulus(task, sweep_lane_seed(task.seed, lane));
+    });
+    if (task.warmup > 0) sim.warmup(task.warmup);
+    sim.run(task.cycles);
+    stats = sim.stats();
+  } else {
+    // Scalar oracle: one simulator per lane over the same streams,
+    // merged in lane order — definitionally what the parallel engine
+    // must reproduce bit for bit.
+    for (unsigned lane = 0; lane < task.lanes; ++lane) {
+      Simulator sim(nl);
+      std::unique_ptr<Stimulus> stim = make_task_stimulus(task, sweep_lane_seed(task.seed, lane));
+      if (task.warmup > 0) sim.warmup(*stim, task.warmup);
+      sim.run(*stim, task.cycles);
+      stats.merge(sim.stats());
+    }
+  }
+
+  SweepResult r;
+  r.design = task.design;
+  r.seed = task.seed;
+  r.engine = task.engine;
+  r.lanes = task.lanes;
+  r.lane_cycles = stats.cycles;
+  r.toggles = std::accumulate(stats.toggles.begin(), stats.toggles.end(), std::uint64_t{0});
+  r.power_mw = PowerEstimator().estimate(nl, stats).total_mw;
+  return r;
+}
+
+struct SweepRunner::Impl {
+  explicit Impl(unsigned threads) : pool(threads) {}
+  ThreadPool pool;
+};
+
+SweepRunner::SweepRunner(unsigned threads) : impl_(std::make_shared<Impl>(threads)) {}
+
+unsigned SweepRunner::threads() const { return impl_->pool.size(); }
+
+std::vector<SweepResult> SweepRunner::run(const std::vector<SweepTask>& tasks) {
+  OPISO_SPAN("sweep.run");
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<SweepResult> results(tasks.size());
+  // Ordered reduction: worker i writes slot i, nothing else.
+  impl_->pool.parallel_for(tasks.size(),
+                           [&](std::size_t i) { results[i] = run_sweep_task(tasks[i]); });
+
+  const std::uint64_t run_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           wall_start)
+          .count());
+  std::uint64_t lane_cycles = 0;
+  for (const SweepResult& r : results) lane_cycles += r.lane_cycles;
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("sweep.runs").add(1);
+  m.counter("sweep.tasks").add(tasks.size());
+  m.counter("sweep.lane_cycles").add(lane_cycles);
+  m.counter("sweep.run_ns").add(run_ns);
+  if (run_ns > 0) {
+    m.gauge("sweep.lane_cycles_per_sec")
+        .set(static_cast<double>(lane_cycles) * 1e9 / static_cast<double>(run_ns));
+  }
+  return results;
+}
+
+obs::JsonValue build_sweep_report(const std::vector<SweepResult>& results) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc["schema"] = "opiso.sweep/v1";
+  obs::JsonValue tasks = obs::JsonValue::array();
+  std::uint64_t lane_cycles = 0;
+  std::uint64_t toggles = 0;
+  for (const SweepResult& r : results) {
+    obs::JsonValue t = obs::JsonValue::object();
+    t["design"] = r.design;
+    t["seed"] = r.seed;
+    // No engine field: scalar and parallel must produce the same
+    // numbers, and CI diffs the two reports to prove it.
+    t["lanes"] = static_cast<std::uint64_t>(r.lanes);
+    t["lane_cycles"] = r.lane_cycles;
+    t["toggles"] = r.toggles;
+    t["power_mw"] = r.power_mw;
+    tasks.push_back(std::move(t));
+    lane_cycles += r.lane_cycles;
+    toggles += r.toggles;
+  }
+  doc["tasks"] = std::move(tasks);
+  obs::JsonValue totals = obs::JsonValue::object();
+  totals["tasks"] = static_cast<std::uint64_t>(results.size());
+  totals["lane_cycles"] = lane_cycles;
+  totals["toggles"] = toggles;
+  doc["totals"] = std::move(totals);
+  return doc;
+}
+
+}  // namespace opiso

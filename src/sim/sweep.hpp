@@ -1,0 +1,79 @@
+#pragma once
+// Multithreaded design sweep.
+//
+// A sweep fans independent (design × stimulus seed × engine config)
+// simulation tasks across a deterministic thread pool and reduces the
+// results in task order. Each task derives its lane RNG streams from
+// its own seed (sweep_lane_seed), no task shares mutable state with
+// another, and the result vector is indexed by task — so the output is
+// bitwise identical for any --threads value, and identical between the
+// scalar and parallel engines (a scalar task runs one Simulator per
+// lane and merges the stats; a parallel task runs the 64-lane engine
+// once). CI diffs the emitted reports across thread counts and engines
+// to hold the runner to this.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "obs/json.hpp"
+#include "sim/engine.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/simulator.hpp"
+
+namespace opiso {
+
+/// Deterministic per-lane RNG stream seed for a task seed.
+[[nodiscard]] constexpr std::uint64_t sweep_lane_seed(std::uint64_t task_seed, unsigned lane) {
+  return task_seed ^ (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(lane) + 1));
+}
+
+struct SweepTask {
+  std::string design;                    ///< label used in the report
+  std::function<Netlist()> make_design;  ///< must be pure (called on a worker)
+  std::uint64_t seed = 1;
+  std::uint64_t cycles = 4096;  ///< cycles per lane
+  unsigned lanes = ParallelSimulator::kMaxLanes;
+  std::uint64_t warmup = 0;  ///< per-lane warmup cycles (discarded)
+  SimEngineKind engine = SimEngineKind::Parallel;
+  /// Stimulus per lane seed; defaults to UniformStimulus when unset.
+  std::function<std::unique_ptr<Stimulus>(std::uint64_t lane_seed)> make_stimulus;
+};
+
+struct SweepResult {
+  std::string design;
+  std::uint64_t seed = 0;
+  SimEngineKind engine = SimEngineKind::Parallel;
+  unsigned lanes = 0;
+  std::uint64_t lane_cycles = 0;  ///< total simulated lane-cycles (post-warmup)
+  std::uint64_t toggles = 0;      ///< total bit toggles over all nets
+  double power_mw = 0.0;          ///< macro-model power at the measured activity
+};
+
+/// Execute one task synchronously (also the per-worker body).
+[[nodiscard]] SweepResult run_sweep_task(const SweepTask& task);
+
+class SweepRunner {
+ public:
+  /// `threads` = 0 picks the hardware concurrency.
+  explicit SweepRunner(unsigned threads = 0);
+
+  /// Fan all tasks across the pool; results come back in task order.
+  [[nodiscard]] std::vector<SweepResult> run(const std::vector<SweepTask>& tasks);
+
+  [[nodiscard]] unsigned threads() const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Deterministic JSON report (schema opiso.sweep/v1). Contains no
+/// wall-clock or thread-count fields so reports from different
+/// --threads runs diff clean; throughput lives in the metrics registry
+/// ("sweep.*", "sim.parallel.*", "pool.*") instead.
+[[nodiscard]] obs::JsonValue build_sweep_report(const std::vector<SweepResult>& results);
+
+}  // namespace opiso

@@ -1,0 +1,113 @@
+#include "util/thread_pool.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+
+namespace opiso {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t executed = 0;
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_) break;
+      try {
+        (*fn_)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_ || i < error_index_) {
+          error_ = std::current_exception();
+          error_index_ = i;
+        }
+      }
+      ++executed;
+    }
+    busy_ns_.fetch_add(
+        static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                       std::chrono::steady_clock::now() - t0)
+                                       .count()),
+        std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ += executed;
+      // All indices handed out and the last executor reports in: the
+      // count of executed tasks reaching n_ is the completion signal.
+      if (done_ >= n_) done_cv_.notify_all();
+    }
+    (void)executed;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  OPISO_REQUIRE(fn != nullptr, "ThreadPool::parallel_for: null function");
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  const auto wall0 = std::chrono::steady_clock::now();
+  busy_ns_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    done_ = 0;
+    error_ = nullptr;
+    error_index_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return done_ >= n_; });
+    fn_ = nullptr;
+    error = error_;
+  }
+
+  const std::uint64_t wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           wall0)
+          .count());
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("pool.parallel_for").add(1);
+  m.counter("pool.tasks").add(n);
+  m.counter("pool.busy_ns").add(busy_ns_.load(std::memory_order_relaxed));
+  m.gauge("pool.workers").set(static_cast<double>(size()));
+  if (wall_ns > 0) {
+    m.gauge("pool.occupancy")
+        .set(static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) /
+             (static_cast<double>(wall_ns) * static_cast<double>(size())));
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace opiso

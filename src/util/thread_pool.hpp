@@ -1,0 +1,74 @@
+#pragma once
+// Deterministic fixed-size thread pool.
+//
+// The pool exists for one job shape: fan N independent, pure tasks
+// across worker threads and wait for all of them (parallel_for). Tasks
+// are identified by index and must write their outputs into
+// index-addressed slots; because no task reads another task's output
+// and the reduction happens in index order at the call site, results
+// are bitwise identical for any worker count — the property the sweep
+// runner's determinism CI job checks (`--threads 1` vs `--threads 8`).
+//
+// Scheduling is a single shared atomic next-index (work stealing at
+// the granularity of one task); there is no task queue, no futures and
+// no nesting — parallel_for calls are serialized by an internal mutex
+// so the pool can be shared. Exceptions thrown by tasks are captured
+// and the one with the smallest task index is rethrown after every
+// in-flight task has drained (again: deterministic).
+//
+// Occupancy metrics flush to the registry once per parallel_for
+// ("pool.tasks", "pool.busy_ns", "pool.occupancy"), never per task.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace opiso {
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run fn(i) for every i in [0, n), blocking until all complete.
+  /// Work is executed on the pool's workers only (the caller blocks),
+  /// so a 1-thread pool is a serial — but still off-thread — schedule.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+
+  // One job at a time; guarded by job_mu_ (serializes parallel_for
+  // callers) + mu_ (worker handshake).
+  std::mutex job_mu_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for a new generation
+  std::condition_variable done_cv_;  ///< caller waits for completion
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t done_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  // First-by-index exception capture.
+  std::exception_ptr error_;
+  std::size_t error_index_ = 0;
+
+  std::atomic<std::uint64_t> busy_ns_{0};
+};
+
+}  // namespace opiso

@@ -1,0 +1,134 @@
+// Thread pool and sweep runner: deterministic parallelism. The pool
+// must execute every task exactly once and propagate failures; the
+// sweep runner must produce results that are bitwise independent of the
+// thread count and of the simulation engine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "designs/designs.hpp"
+#include "sim/sweep.hpp"
+#include "util/thread_pool.hpp"
+
+namespace opiso {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesEmptyAndReuse) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "no tasks expected"; });
+  std::atomic<int> count{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(7, [&](std::size_t) { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 70);
+}
+
+TEST(ThreadPool, PropagatesTheSmallestFailingIndex) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(50, [](std::size_t i) {
+      if (i == 7 || i == 31) throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 7");
+  }
+  // The pool must survive a failed round.
+  std::atomic<int> ok{0};
+  pool.parallel_for(3, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+std::vector<SweepTask> demo_tasks() {
+  std::vector<SweepTask> tasks;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SweepTask t;
+    t.design = "design2";
+    t.make_design = [] { return make_design2(); };
+    t.seed = seed;
+    t.cycles = 64;
+    t.lanes = 64;
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+TEST(SweepRunner, ResultsIndependentOfThreadCount) {
+  const std::vector<SweepTask> tasks = demo_tasks();
+  const std::vector<SweepResult> one = SweepRunner(1).run(tasks);
+  const std::vector<SweepResult> eight = SweepRunner(8).run(tasks);
+  ASSERT_EQ(one.size(), tasks.size());
+  ASSERT_EQ(eight.size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(one[i].design, eight[i].design);
+    EXPECT_EQ(one[i].seed, eight[i].seed);
+    EXPECT_EQ(one[i].toggles, eight[i].toggles);
+    EXPECT_EQ(one[i].lane_cycles, eight[i].lane_cycles);
+    EXPECT_EQ(one[i].power_mw, eight[i].power_mw);  // bitwise, not approximate
+  }
+}
+
+TEST(SweepRunner, ScalarEngineIsABitwiseOracle) {
+  std::vector<SweepTask> par = demo_tasks();
+  std::vector<SweepTask> scal = demo_tasks();
+  for (SweepTask& t : scal) t.engine = SimEngineKind::Scalar;
+  const std::vector<SweepResult> p = SweepRunner(2).run(par);
+  const std::vector<SweepResult> s = SweepRunner(2).run(scal);
+  ASSERT_EQ(p.size(), s.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p[i].toggles, s[i].toggles);
+    EXPECT_EQ(p[i].lane_cycles, s[i].lane_cycles);
+    EXPECT_EQ(p[i].power_mw, s[i].power_mw);
+  }
+}
+
+TEST(SweepRunner, PartialLaneCountsMatchScalar) {
+  SweepTask t;
+  t.design = "fig1";
+  t.make_design = [] { return make_fig1(); };
+  t.cycles = 128;
+  t.lanes = 5;  // not a multiple of anything convenient
+  SweepTask ts = t;
+  ts.engine = SimEngineKind::Scalar;
+  const SweepResult p = run_sweep_task(t);
+  const SweepResult s = run_sweep_task(ts);
+  EXPECT_EQ(p.lane_cycles, 5u * 128u);
+  EXPECT_EQ(p.toggles, s.toggles);
+  EXPECT_EQ(p.power_mw, s.power_mw);
+}
+
+TEST(SweepReport, IsDeterministicAcrossEngines) {
+  std::vector<SweepTask> par = demo_tasks();
+  std::vector<SweepTask> scal = demo_tasks();
+  for (SweepTask& t : scal) t.engine = SimEngineKind::Scalar;
+  std::ostringstream a, b;
+  build_sweep_report(SweepRunner(4).run(par)).write(a, 1);
+  build_sweep_report(SweepRunner(1).run(scal)).write(b, 1);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(SweepReport, CarriesSchemaAndTotals) {
+  const obs::JsonValue doc = build_sweep_report(SweepRunner(2).run(demo_tasks()));
+  EXPECT_EQ(doc.at("schema").as_string(), "opiso.sweep/v1");
+  EXPECT_EQ(doc.at("totals").at("tasks").as_number(), 3.0);
+  EXPECT_EQ(doc.at("tasks").at(0).at("design").as_string(), "design2");
+  EXPECT_GT(doc.at("totals").at("toggles").as_number(), 0.0);
+}
+
+TEST(SweepLaneSeed, StreamsAreDistinct) {
+  EXPECT_NE(sweep_lane_seed(1, 0), sweep_lane_seed(1, 1));
+  EXPECT_NE(sweep_lane_seed(1, 0), sweep_lane_seed(2, 0));
+}
+
+}  // namespace
+}  // namespace opiso

@@ -10,6 +10,8 @@
 //   opiso optimize <design> [-o out.rtn]        optimization passes
 //   opiso lower    <design> [-o out.rtn]        gate-level expansion
 //   opiso verify   <original> <transformed>     BDD equivalence proof
+//   opiso sweep    <design...> [options]        multithreaded simulation sweep
+//       --seeds N   --cycles N   --lanes N   --threads N   --sim scalar|parallel
 //
 // Observability (any command): --trace FILE (Chrome-trace JSON),
 // --metrics FILE (metrics snapshot; for isolate: the full run report),
@@ -18,6 +20,7 @@
 // <design> is a .rtn structural netlist or a .rtl RTL-language file
 // (chosen by extension).
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,6 +28,7 @@
 #include <vector>
 
 #include "baseline/control_signal_gating.hpp"
+#include "designs/designs.hpp"
 #include "frontend/rtl_parser.hpp"
 #include "isolation/report.hpp"
 #include "lower/gate_level.hpp"
@@ -35,6 +39,8 @@
 #include "obs/trace.hpp"
 #include "opt/passes.hpp"
 #include "power/estimator.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/sweep.hpp"
 #include "verify/equiv.hpp"
 
 namespace {
@@ -61,6 +67,19 @@ using namespace opiso;
       "  optimize   <design> [-o out.rtn]     optimization passes\n"
       "  lower      <design> [-o out.rtn]     gate-level expansion\n"
       "  verify     <original> <transformed>  BDD equivalence proof\n"
+      "  sweep      <design...>               multithreaded simulation sweep:\n"
+      "      --seeds N              stimulus seeds per design (default: 4)\n"
+      "      --cycles N             total cycles per task, split across lanes\n"
+      "      --lanes N              bit-parallel lanes, 1..64 (default: 64)\n"
+      "      --threads N            worker threads, 0 = hardware (default: 0)\n"
+      "      --sim scalar|parallel  simulation engine (default: parallel)\n"
+      "      --warmup N             per-lane warmup cycles (default: 0)\n"
+      "      designs are builtin names (fig1, design1, design2) or files;\n"
+      "      --metrics FILE writes the deterministic sweep report — it is\n"
+      "      bitwise identical for any --threads and --sim value\n"
+      "\n"
+      "power and isolate also accept --sim/--lanes to run their\n"
+      "measurements on the 64-lane bit-parallel engine.\n"
       "\n"
       "observability (any command):\n"
       "  --trace FILE     write a Chrome-trace JSON timeline of the run\n"
@@ -91,6 +110,12 @@ struct Args {
   std::string trace_path;
   std::string metrics_path;
   bool progress = false;
+  SimEngineKind sim_engine = SimEngineKind::Scalar;
+  bool sim_engine_set = false;
+  std::uint64_t seeds = 4;
+  unsigned lanes = ParallelSimulator::kMaxLanes;
+  unsigned threads = 0;
+  std::uint64_t warmup = 0;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -127,6 +152,20 @@ Args parse_args(int argc, char** argv) {
       args.metrics_path = value();
     } else if (a == "--progress") {
       args.progress = true;
+    } else if (a == "--sim") {
+      const std::string s = value();
+      if (s == "scalar") args.sim_engine = SimEngineKind::Scalar;
+      else if (s == "parallel") args.sim_engine = SimEngineKind::Parallel;
+      else usage();
+      args.sim_engine_set = true;
+    } else if (a == "--seeds") {
+      args.seeds = std::stoull(value());
+    } else if (a == "--lanes") {
+      args.lanes = static_cast<unsigned>(std::stoul(value()));
+    } else if (a == "--threads") {
+      args.threads = static_cast<unsigned>(std::stoul(value()));
+    } else if (a == "--warmup") {
+      args.warmup = std::stoull(value());
     } else if (!a.empty() && a[0] == '-') {
       usage();
     } else {
@@ -153,6 +192,69 @@ void write_json_file(const std::string& path, const obs::JsonValue& doc) {
   std::cerr << "wrote " << path << "\n";
 }
 
+// Observability artifacts (after the command has run, so counters and
+// spans cover the whole invocation).
+void write_obs_artifacts(const Args& args, bool metrics_written) {
+  if (!args.metrics_path.empty() && !metrics_written) {
+    write_json_file(args.metrics_path, obs::metrics().snapshot());
+  }
+  if (!args.trace_path.empty()) {
+    std::ofstream os(args.trace_path);
+    if (!os) throw Error("cannot open '" + args.trace_path + "' for writing");
+    obs::Tracer::instance().write_chrome_trace(os);
+    std::cerr << "wrote " << args.trace_path << "\n";
+  }
+}
+
+/// Sweep designs are builtin generator names or design files.
+Netlist make_sweep_design(const std::string& name) {
+  if (name == "fig1") return make_fig1();
+  if (name == "design1") return make_design1();
+  if (name == "design2") return make_design2();
+  return load_design(name);
+}
+
+int run_sweep_cmd(const Args& args, bool& metrics_written) {
+  std::vector<SweepTask> tasks;
+  for (const std::string& name : args.positional) {
+    make_sweep_design(name);  // fail fast on a bad name, before the pool spins up
+    for (std::uint64_t seed = 1; seed <= args.seeds; ++seed) {
+      SweepTask t;
+      t.design = name;
+      t.make_design = [name] { return make_sweep_design(name); };
+      t.seed = seed;
+      t.lanes = args.lanes;
+      t.cycles = std::max<std::uint64_t>(1, args.cycles / args.lanes);
+      t.warmup = args.warmup;
+      t.engine = args.sim_engine_set ? args.sim_engine : SimEngineKind::Parallel;
+      tasks.push_back(std::move(t));
+    }
+  }
+  SweepRunner runner(args.threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<SweepResult> results = runner.run(tasks);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::uint64_t total_lane_cycles = 0;
+  for (const SweepResult& r : results) {
+    total_lane_cycles += r.lane_cycles;
+    std::cout << r.design << " seed " << r.seed << ": toggles " << r.toggles << ", power "
+              << r.power_mw << " mW (" << r.lane_cycles << " lane-cycles)\n";
+  }
+  // Throughput goes to stderr: stdout and the report stay deterministic
+  // so CI can diff runs across --threads and --sim values.
+  std::cerr << "sweep: " << tasks.size() << " tasks on " << runner.threads() << " threads, "
+            << static_cast<std::uint64_t>(static_cast<double>(total_lane_cycles) /
+                                          std::max(secs, 1e-9))
+            << " lane-cycles/sec\n";
+  if (!args.metrics_path.empty()) {
+    write_json_file(args.metrics_path, build_sweep_report(results));
+    metrics_written = true;
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 3) usage();
   const std::string cmd = argv[1];
@@ -161,6 +263,13 @@ int run(int argc, char** argv) {
   if (!args.trace_path.empty()) obs::Tracer::instance().set_enabled(true);
   int exit_code = 0;
   bool metrics_written = false;
+  if (cmd == "sweep") {
+    // Handled before the shared design load: sweep takes several
+    // designs, by builtin name or path.
+    const int rc = run_sweep_cmd(args, metrics_written);
+    write_obs_artifacts(args, metrics_written);
+    return rc;
+  }
   const Netlist design = load_design(args.positional[0]);
 
   if (cmd == "stats") {
@@ -182,10 +291,21 @@ int run(int argc, char** argv) {
                 << "\n";
     }
   } else if (cmd == "power") {
-    Simulator sim(design);
-    UniformStimulus stim(1);
-    sim.run(stim, args.cycles);
-    const PowerBreakdown pb = PowerEstimator().estimate(design, sim.stats());
+    ActivityStats stats;
+    if (args.sim_engine == SimEngineKind::Parallel) {
+      ParallelSimulator sim(design, args.lanes);
+      sim.set_stimulus([](unsigned lane) {
+        return std::make_unique<UniformStimulus>(sweep_lane_seed(1, lane));
+      });
+      sim.run(std::max<std::uint64_t>(1, args.cycles / sim.lanes()));
+      stats = sim.stats();
+    } else {
+      Simulator sim(design);
+      UniformStimulus stim(1);
+      sim.run(stim, args.cycles);
+      stats = sim.stats();
+    }
+    const PowerBreakdown pb = PowerEstimator().estimate(design, stats);
     std::cout << "total " << pb.total_mw << " mW (arith " << pb.arith_mw << ", steering "
               << pb.steering_mw << ", sequential " << pb.sequential_mw << ", isolation "
               << pb.isolation_mw << ")\n";
@@ -197,6 +317,13 @@ int run(int argc, char** argv) {
     opt.h_min = args.h_min;
     opt.slack_threshold_ns = args.slack_threshold;
     opt.activation.register_lookahead = args.lookahead;
+    opt.sim_engine = args.sim_engine;
+    opt.sim_lanes = args.lanes;
+    if (opt.sim_engine == SimEngineKind::Parallel) {
+      opt.lane_stimuli = [](unsigned lane) {
+        return std::make_unique<UniformStimulus>(sweep_lane_seed(1, lane));
+      };
+    }
     if (args.progress) {
       opt.on_iteration = [](const IterationLog& log) {
         std::cerr << "[opiso] iter " << log.iteration << ": power "
@@ -239,17 +366,7 @@ int run(int argc, char** argv) {
     usage();
   }
 
-  // Observability artifacts (after the command has run, so counters and
-  // spans cover the whole invocation).
-  if (!args.metrics_path.empty() && !metrics_written) {
-    write_json_file(args.metrics_path, obs::metrics().snapshot());
-  }
-  if (!args.trace_path.empty()) {
-    std::ofstream os(args.trace_path);
-    if (!os) throw Error("cannot open '" + args.trace_path + "' for writing");
-    obs::Tracer::instance().write_chrome_trace(os);
-    std::cerr << "wrote " << args.trace_path << "\n";
-  }
+  write_obs_artifacts(args, metrics_written);
   return exit_code;
 }
 
