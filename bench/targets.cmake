@@ -22,14 +22,16 @@ opiso_add_bench(bench_scaling benchmark::benchmark)
 
 # Bench smoke: the two table benches run in well under a second, so CI
 # (and any local `ctest -L bench-smoke`) regenerates BENCH_table{1,2}.json
-# and gates the reproduced savings against the EXPERIMENTS.md expectations.
-find_package(Python3 COMPONENTS Interpreter QUIET)
-if(Python3_Interpreter_FOUND)
-  add_test(NAME bench_table_tolerances
-           COMMAND sh -c "mkdir -p ${CMAKE_BINARY_DIR}/bench_json && \
+# and gates the reproduced savings against the committed expected
+# subsets via `opiso report diff` (tolerances in ci/bench_tolerances.json).
+add_test(NAME bench_table_tolerances
+         COMMAND sh -c "mkdir -p ${CMAKE_BINARY_DIR}/bench_json && \
 OPISO_BENCH_JSON_DIR=${CMAKE_BINARY_DIR}/bench_json $<TARGET_FILE:bench_table1> && \
 OPISO_BENCH_JSON_DIR=${CMAKE_BINARY_DIR}/bench_json $<TARGET_FILE:bench_table2> && \
-${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/ci/check_bench_tolerances.py \
-${CMAKE_SOURCE_DIR}/ci/bench_tolerances.json ${CMAKE_BINARY_DIR}/bench_json")
-  set_tests_properties(bench_table_tolerances PROPERTIES TIMEOUT 300 LABELS bench-smoke)
-endif()
+$<TARGET_FILE:opiso_cli> report diff ${CMAKE_SOURCE_DIR}/ci/golden/BENCH_table1.expected.json \
+${CMAKE_BINARY_DIR}/bench_json/BENCH_table1.json \
+--tolerances ${CMAKE_SOURCE_DIR}/ci/bench_tolerances.json --subset && \
+$<TARGET_FILE:opiso_cli> report diff ${CMAKE_SOURCE_DIR}/ci/golden/BENCH_table2.expected.json \
+${CMAKE_BINARY_DIR}/bench_json/BENCH_table2.json \
+--tolerances ${CMAKE_SOURCE_DIR}/ci/bench_tolerances.json --subset")
+set_tests_properties(bench_table_tolerances PROPERTIES TIMEOUT 300 LABELS bench-smoke)

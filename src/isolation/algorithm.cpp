@@ -191,9 +191,10 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
         ev.style = style;
         ev.activation_str = activation_to_string(nl, pool, vars, cand.activation);
         ev.pr_redundant = estimator.pr_redundant(i, stats);
-        ev.primary_mw = estimator.primary_savings_mw(i, stats, opt.primary_model);
-        ev.secondary_mw = estimator.secondary_savings_mw(i, stats);
-        ev.overhead_mw = estimator.overhead_mw(i, stats, style);
+        ev.primary_mw = estimator.primary_savings_mw(i, stats, opt.primary_model,
+                                                     &ev.attribution);
+        ev.secondary_mw = estimator.secondary_savings_mw(i, stats, &ev.attribution);
+        ev.overhead_mw = estimator.overhead_mw(i, stats, style, &ev.attribution);
         ev.r_power = (ev.primary_mw + ev.secondary_mw - ev.overhead_mw) /
                      std::max(pb.total_mw, 1e-12);
         // Area cost: one bank bit per isolated input bit + literal count

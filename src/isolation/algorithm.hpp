@@ -103,6 +103,11 @@ struct CandidateEvaluation {
   bool slack_vetoed = false;
   bool legal = true;
   bool isolated_now = false;
+  /// Eq. 1–5 decomposition behind primary_mw/secondary_mw/overhead_mw:
+  /// the per-kind sums of these terms reproduce the three totals
+  /// exactly (they are the addends, recorded in summation order). Feeds
+  /// the run report's power-attribution ledger and `opiso explain`.
+  std::vector<SavingsTerm> attribution;
 };
 
 struct IterationLog {

@@ -109,18 +109,28 @@ double SavingsEstimator::actual_toggle_rate(double measured, double pr_active) {
   return measured / pr_active;
 }
 
-double SavingsEstimator::source_rate(const PortEvent& ev, const ActivityStats& stats,
-                                     NetId pin_net) const {
-  if (ev.source == kBackground) return stats.toggle_rate(pin_net);
+SavingsEstimator::SourceRate SavingsEstimator::source_rate(const PortEvent& ev,
+                                                           const ActivityStats& stats,
+                                                           NetId pin_net) const {
+  if (ev.source == kBackground) return {stats.toggle_rate(pin_net), false};
   const IsolationCandidate& src = cands_[ev.source];
   const double measured = stats.toggle_rate(nl_.cell(src.cell).out);
-  if (!src.already_isolated) return measured;
-  if (!ev.source_active) return 0.0;  // banks blocked during !f
-  return actual_toggle_rate(measured, stats.probe_probability(models_[ev.source].probe_f));
+  if (!src.already_isolated) return {measured, false};
+  if (!ev.source_active) return {0.0, false};  // banks blocked during !f
+  return {actual_toggle_rate(measured, stats.probe_probability(models_[ev.source].probe_f)),
+          true};
+}
+
+std::string SavingsEstimator::source_name(const PortEvent& ev) const {
+  if (ev.source == kBackground) return "(background)";
+  std::string name = nl_.cell(cands_[ev.source].cell).name;
+  name += ev.source_active ? " [active]" : " [idle]";
+  return name;
 }
 
 double SavingsEstimator::primary_savings_mw(std::size_t i, const ActivityStats& stats,
-                                            PrimaryModel model) const {
+                                            PrimaryModel model,
+                                            std::vector<SavingsTerm>* terms) const {
   OPISO_REQUIRE(probes_registered_, "primary_savings_mw: probes not registered");
   const Cell& cell = nl_.cell(cands_[i].cell);
   const CandidateModel& m = models_[i];
@@ -130,7 +140,18 @@ double SavingsEstimator::primary_savings_mw(std::size_t i, const ActivityStats& 
     std::vector<double> rates;
     rates.reserve(cell.ins.size());
     for (NetId in : cell.ins) rates.push_back(stats.toggle_rate(in));
-    return pr_redundant(i, stats) * power_.module_power_mw(cell.kind, cell.width, rates);
+    const double saved =
+        pr_redundant(i, stats) * power_.module_power_mw(cell.kind, cell.width, rates);
+    if (terms) {
+      SavingsTerm t;
+      t.kind = "primary.simple";
+      t.mw = saved;
+      t.probability = pr_redundant(i, stats);
+      t.rate_a = rates.empty() ? 0.0 : rates[0];
+      t.rate_b = rates.size() > 1 ? rates[1] : 0.0;
+      terms->push_back(std::move(t));
+    }
+    return saved;
   }
 
   // Eq. (3) generalized: sum over steering-event pairs.
@@ -138,14 +159,31 @@ double SavingsEstimator::primary_savings_mw(std::size_t i, const ActivityStats& 
   for (const PairProbe& pp : m.pair_probes) {
     const double pr = stats.probe_probability(pp.probe);
     if (pr <= 0.0) continue;
-    const double ra = source_rate(m.port_events[0][pp.a_event], stats, cell.ins[0]);
-    const double rb = source_rate(m.port_events[1][pp.b_event], stats, cell.ins[1]);
-    saved += pr * power_.module_power_mw(cell.kind, cell.width, ra, rb);
+    const PortEvent& ea = m.port_events[0][pp.a_event];
+    const PortEvent& eb = m.port_events[1][pp.b_event];
+    const SourceRate ra = source_rate(ea, stats, cell.ins[0]);
+    const SourceRate rb = source_rate(eb, stats, cell.ins[1]);
+    const double term_mw = pr * power_.module_power_mw(cell.kind, cell.width, ra.rate, rb.rate);
+    saved += term_mw;
+    if (terms) {
+      SavingsTerm t;
+      t.kind = "primary.pair";
+      t.mw = term_mw;
+      t.probability = pr;
+      t.rate_a = ra.rate;
+      t.rate_b = rb.rate;
+      t.source_a = source_name(ea);
+      t.source_b = source_name(eb);
+      t.rescaled_a = ra.rescaled;
+      t.rescaled_b = rb.rescaled;
+      terms->push_back(std::move(t));
+    }
   }
   return saved;
 }
 
-double SavingsEstimator::secondary_savings_mw(std::size_t i, const ActivityStats& stats) const {
+double SavingsEstimator::secondary_savings_mw(std::size_t i, const ActivityStats& stats,
+                                              std::vector<SavingsTerm>* terms) const {
   OPISO_REQUIRE(probes_registered_, "secondary_savings_mw: probes not registered");
   const CandidateModel& m = models_[i];
   double saved = 0.0;
@@ -164,6 +202,19 @@ double SavingsEstimator::secondary_savings_mw(std::size_t i, const ActivityStats
       return power_.module_power_mw(cell_j.kind, cell_j.width, with) -
              power_.module_power_mw(cell_j.kind, cell_j.width, without);
     };
+    auto record = [&](const char* kind, double pr, double rate, bool rescaled, double mw) {
+      if (!terms) return;
+      SavingsTerm t;
+      t.kind = kind;
+      t.mw = mw;
+      t.probability = pr;
+      t.rate_a = rate;
+      t.rescaled_a = rescaled;
+      t.fanout = cell_j.name;
+      t.fanout_port = ft.port;
+      t.z_j = cj.already_isolated;
+      terms->push_back(std::move(t));
+    };
 
     const double measured = rates[static_cast<size_t>(ft.port)];
     // Term 1 (Eq. 5): c_i idle, c_j active, path connected. If c_j is
@@ -172,18 +223,25 @@ double SavingsEstimator::secondary_savings_mw(std::size_t i, const ActivityStats
         cj.already_isolated
             ? actual_toggle_rate(measured, stats.probe_probability(models_[ft.j].probe_f))
             : measured;
-    saved += stats.probe_probability(ft.probe_active) * delta_with_port_rate(tr_active);
+    const double pr_act = stats.probe_probability(ft.probe_active);
+    const double active_mw = pr_act * delta_with_port_rate(tr_active);
+    saved += active_mw;
+    record("secondary.active", pr_act, tr_active, cj.already_isolated, active_mw);
     // Term 2: c_i idle, c_j idle — only if c_j is not isolated (z_j = 0),
     // otherwise its banks already block the pin.
     if (!cj.already_isolated) {
-      saved += stats.probe_probability(ft.probe_idle) * delta_with_port_rate(measured);
+      const double pr_idle = stats.probe_probability(ft.probe_idle);
+      const double idle_mw = pr_idle * delta_with_port_rate(measured);
+      saved += idle_mw;
+      record("secondary.idle", pr_idle, measured, false, idle_mw);
     }
   }
   return saved;
 }
 
 double SavingsEstimator::overhead_mw(std::size_t i, const ActivityStats& stats,
-                                     IsolationStyle style) const {
+                                     IsolationStyle style,
+                                     std::vector<SavingsTerm>* terms) const {
   OPISO_REQUIRE(probes_registered_, "overhead_mw: probes not registered");
   const Cell& cell = nl_.cell(cands_[i].cell);
   const CellKind bank_kind = isolation_cell_kind(style);
@@ -192,8 +250,18 @@ double SavingsEstimator::overhead_mw(std::size_t i, const ActivityStats& stats,
   double overhead = 0.0;
   // Prospective isolation banks, one per input pin.
   for (NetId in : cell.ins) {
-    overhead +=
+    const double bank_mw =
         power_.module_power_mw(bank_kind, nl_.net(in).width, stats.toggle_rate(in), tr_as);
+    overhead += bank_mw;
+    if (terms) {
+      SavingsTerm t;
+      t.kind = "overhead.bank";
+      t.mw = bank_mw;
+      t.rate_a = stats.toggle_rate(in);
+      t.rate_b = tr_as;
+      t.source_a = nl_.net(in).name;
+      terms->push_back(std::move(t));
+    }
   }
   // Gate-based banks force the module inputs to 0 (ones) on every
   // falling AS edge and release them on every rising edge: with random
@@ -205,8 +273,18 @@ double SavingsEstimator::overhead_mw(std::size_t i, const ActivityStats& stats,
     for (int p = 0; p < static_cast<int>(cell.ins.size()); ++p) {
       const double induced_rate =
           tr_as * 0.5 * static_cast<double>(nl_.net(cell.ins[static_cast<size_t>(p)]).width);
-      overhead += power_.energy_per_toggle_pj(cell.kind, cell.width, p) * induced_rate *
-                  power_.clock_freq_mhz * 1e-3;
+      const double induced_mw = power_.energy_per_toggle_pj(cell.kind, cell.width, p) *
+                                induced_rate * power_.clock_freq_mhz * 1e-3;
+      overhead += induced_mw;
+      if (terms) {
+        SavingsTerm t;
+        t.kind = "overhead.induced";
+        t.mw = induced_mw;
+        t.rate_a = induced_rate;
+        t.rate_b = tr_as;
+        t.source_a = nl_.net(cell.ins[static_cast<size_t>(p)]).name;
+        terms->push_back(std::move(t));
+      }
     }
   }
   // Activation logic: factored-form gates switching at roughly the
@@ -220,7 +298,16 @@ double SavingsEstimator::overhead_mw(std::size_t i, const ActivityStats& stats,
     avg_rate = 0.5 * (tr_as + sum / static_cast<double>(sup.size()));
   }
   const double gates = static_cast<double>(pool_.gate_count(f));
-  overhead += power_.module_power_mw(CellKind::And, 1, avg_rate * gates, 0.0);
+  const double logic_mw = power_.module_power_mw(CellKind::And, 1, avg_rate * gates, 0.0);
+  overhead += logic_mw;
+  if (terms) {
+    SavingsTerm t;
+    t.kind = "overhead.logic";
+    t.mw = logic_mw;
+    t.rate_a = avg_rate * gates;
+    t.rate_b = tr_as;
+    terms->push_back(std::move(t));
+  }
   return overhead;
 }
 

@@ -27,6 +27,7 @@
 // bank cells at the measured data rates and the measured activation-
 // signal toggle rate, plus the synthesized activation logic's gates.
 
+#include <string>
 #include <vector>
 
 #include "isolation/candidates.hpp"
@@ -38,6 +39,37 @@
 namespace opiso {
 
 enum class PrimaryModel { Simple, Refined };
+
+/// One addend of the Eq. 1–5 savings/overhead decomposition, recorded
+/// as it is summed so the attribution ledger provably reconstructs the
+/// reported totals: sum(terms with kind "primary.*") == primary_mw,
+/// likewise for "secondary.*" and "overhead.*" — exactly, because the
+/// totals *are* the sums of these addends in this order.
+///
+/// Kinds:
+///   primary.simple       Eq. 1: Pr(!f)·p(measured rates)  (one term)
+///   primary.pair         Eq. 3 generalized: one steering-event pair
+///   secondary.active     Eq. 5 term 1: c_i idle, fanout c_j active
+///   secondary.idle       Eq. 5 term 2: both idle, only when z_j = 0
+///   overhead.bank        prospective isolation bank on one input pin
+///   overhead.induced     gate-bank forced-zero switching (non-latch)
+///   overhead.logic       synthesized activation logic
+struct SavingsTerm {
+  std::string kind;
+  double mw = 0.0;
+  /// Measured probability of the enabling joint event (Pr(!f·...)); 1
+  /// for overhead terms, which are unconditional.
+  double probability = 1.0;
+  double rate_a = 0.0;  ///< toggle rate fed to port A / the bank data pin
+  double rate_b = 0.0;  ///< port B / the activation signal, where applicable
+  std::string source_a;  ///< feeding cell for pair terms ("(background)" if none)
+  std::string source_b;
+  bool rescaled_a = false;  ///< Eq. 2 actual-toggle-rate rescale applied
+  bool rescaled_b = false;
+  std::string fanout;    ///< secondary terms: fanout candidate cell
+  int fanout_port = -1;  ///< input port of the fanout candidate reached
+  bool z_j = false;      ///< fanout candidate already isolated
+};
 
 class SavingsEstimator {
  public:
@@ -63,14 +95,20 @@ class SavingsEstimator {
   /// full-interval average.
   [[nodiscard]] static double actual_toggle_rate(double measured, double pr_active);
 
-  /// ΔP_p in mW.
+  /// ΔP_p in mW. When `terms` is non-null every addend is appended as a
+  /// SavingsTerm; the returned total is the sum of those addends (same
+  /// additions, same order), so the ledger reconstructs it exactly.
   [[nodiscard]] double primary_savings_mw(std::size_t i, const ActivityStats& stats,
-                                          PrimaryModel model) const;
-  /// ΔP_s in mW.
-  [[nodiscard]] double secondary_savings_mw(std::size_t i, const ActivityStats& stats) const;
-  /// P_i in mW for the given style (banks + activation logic).
+                                          PrimaryModel model,
+                                          std::vector<SavingsTerm>* terms = nullptr) const;
+  /// ΔP_s in mW (same `terms` contract).
+  [[nodiscard]] double secondary_savings_mw(std::size_t i, const ActivityStats& stats,
+                                            std::vector<SavingsTerm>* terms = nullptr) const;
+  /// P_i in mW for the given style (banks + activation logic; same
+  /// `terms` contract).
   [[nodiscard]] double overhead_mw(std::size_t i, const ActivityStats& stats,
-                                   IsolationStyle style) const;
+                                   IsolationStyle style,
+                                   std::vector<SavingsTerm>* terms = nullptr) const;
 
   [[nodiscard]] std::size_t num_candidates() const { return cands_.size(); }
 
@@ -105,8 +143,13 @@ class SavingsEstimator {
     std::size_t probe_f = 0;                          ///< Pr(f_i)
   };
 
-  [[nodiscard]] double source_rate(const PortEvent& ev, const ActivityStats& stats,
-                                   NetId pin_net) const;
+  struct SourceRate {
+    double rate = 0.0;
+    bool rescaled = false;  ///< Eq. 2 rescale was applied
+  };
+  [[nodiscard]] SourceRate source_rate(const PortEvent& ev, const ActivityStats& stats,
+                                       NetId pin_net) const;
+  [[nodiscard]] std::string source_name(const PortEvent& ev) const;
   [[nodiscard]] std::size_t index_of(CellId cell) const;
 
   const Netlist& nl_;

@@ -1,0 +1,150 @@
+#include "obs/attribution.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+#include "obs/run_report.hpp"
+
+namespace opiso::obs {
+
+namespace {
+
+bool kind_is(const std::string& kind, const char* prefix) {
+  return kind.rfind(prefix, 0) == 0;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+AttributionSums sum_attribution(const std::vector<SavingsTerm>& terms) {
+  // Accumulate in recording order: the estimator summed the same
+  // addends in the same order, so these sums match the reported totals
+  // bit for bit, not just within rounding.
+  AttributionSums s;
+  for (const SavingsTerm& t : terms) {
+    if (kind_is(t.kind, "primary.")) s.primary_mw += t.mw;
+    else if (kind_is(t.kind, "secondary.")) s.secondary_mw += t.mw;
+    else if (kind_is(t.kind, "overhead.")) s.overhead_mw += t.mw;
+  }
+  return s;
+}
+
+JsonValue savings_term_json(const SavingsTerm& term) {
+  JsonValue t = JsonValue::object();
+  t["kind"] = term.kind;
+  t["mw"] = term.mw;
+  t["probability"] = term.probability;
+  t["rate_a"] = term.rate_a;
+  if (term.rate_b != 0.0) t["rate_b"] = term.rate_b;
+  if (!term.source_a.empty()) t["source_a"] = term.source_a;
+  if (!term.source_b.empty()) t["source_b"] = term.source_b;
+  if (term.rescaled_a) t["rescaled_a"] = true;
+  if (term.rescaled_b) t["rescaled_b"] = true;
+  if (!term.fanout.empty()) {
+    t["fanout"] = term.fanout;
+    t["fanout_port"] = term.fanout_port;
+    t["z_j"] = term.z_j;
+  }
+  return t;
+}
+
+JsonValue build_power_attribution(const IsolationResult& result) {
+  JsonValue doc = JsonValue::object();
+  doc["schema"] = "opiso.power_attribution/v1";
+  JsonValue iterations = JsonValue::array();
+  for (const IterationLog& log : result.iterations) {
+    JsonValue it = JsonValue::object();
+    it["iteration"] = log.iteration;
+    JsonValue cands = JsonValue::array();
+    for (const CandidateEvaluation& ev : log.evaluations) {
+      const AttributionSums sums = sum_attribution(ev.attribution);
+      JsonValue c = JsonValue::object();
+      c["cell"] = ev.cell_name;
+      c["style"] = std::string(isolation_style_name(ev.style));
+      c["decision"] = candidate_decision(ev);
+      // Ledger-side totals: re-derived from the terms here, equal to
+      // the candidates[] row in iterations[] (asserted by tests).
+      c["primary_mw"] = sums.primary_mw;
+      c["secondary_mw"] = sums.secondary_mw;
+      c["overhead_mw"] = sums.overhead_mw;
+      c["net_mw"] = sums.primary_mw + sums.secondary_mw - sums.overhead_mw;
+      JsonValue terms = JsonValue::array();
+      for (const SavingsTerm& t : ev.attribution) terms.push_back(savings_term_json(t));
+      c["terms"] = std::move(terms);
+      cands.push_back(std::move(c));
+    }
+    it["candidates"] = std::move(cands);
+    iterations.push_back(std::move(it));
+  }
+  doc["iterations"] = std::move(iterations);
+  return doc;
+}
+
+bool write_candidate_narrative(std::ostream& os, const IsolationResult& result,
+                               std::string_view cell_name) {
+  bool found = false;
+  for (const IterationLog& log : result.iterations) {
+    for (const CandidateEvaluation& ev : log.evaluations) {
+      if (ev.cell_name != cell_name) continue;
+      found = true;
+      os << "iteration " << log.iteration << ": candidate '" << ev.cell_name << "' (block "
+         << ev.block << ", style " << isolation_style_name(ev.style) << ")\n";
+      os << "  activation AS = " << ev.activation_str << ", Pr(!f) = " << fmt(ev.pr_redundant)
+         << "\n";
+      os << "  primary savings " << fmt(ev.primary_mw) << " mW (Eq. 1-3):\n";
+      for (const SavingsTerm& t : ev.attribution) {
+        if (!kind_is(t.kind, "primary.")) continue;
+        os << "    [" << t.kind << "] Pr = " << fmt(t.probability) << ", rates ("
+           << fmt(t.rate_a) << ", " << fmt(t.rate_b) << ")";
+        if (!t.source_a.empty()) os << ", A from " << t.source_a;
+        if (t.rescaled_a) os << " (Eq. 2 rescaled)";
+        if (!t.source_b.empty()) os << ", B from " << t.source_b;
+        if (t.rescaled_b) os << " (Eq. 2 rescaled)";
+        os << " -> " << fmt(t.mw) << " mW\n";
+      }
+      bool any_secondary = false;
+      for (const SavingsTerm& t : ev.attribution) {
+        if (kind_is(t.kind, "secondary.")) any_secondary = true;
+      }
+      os << "  secondary savings " << fmt(ev.secondary_mw) << " mW (Eq. 4-5"
+         << (any_secondary ? "):\n" : "): no connected fanout candidates\n");
+      for (const SavingsTerm& t : ev.attribution) {
+        if (!kind_is(t.kind, "secondary.")) continue;
+        os << "    [" << t.kind << "] fanout " << t.fanout << " port " << t.fanout_port
+           << " (z_j = " << (t.z_j ? 1 : 0) << "), Pr = " << fmt(t.probability) << ", pin rate "
+           << fmt(t.rate_a) << (t.rescaled_a ? " (Eq. 2 rescaled)" : "") << " -> " << fmt(t.mw)
+           << " mW\n";
+      }
+      os << "  isolation overhead " << fmt(ev.overhead_mw) << " mW:\n";
+      for (const SavingsTerm& t : ev.attribution) {
+        if (!kind_is(t.kind, "overhead.")) continue;
+        os << "    [" << t.kind << "]";
+        if (!t.source_a.empty()) os << " " << t.source_a;
+        os << " rates (" << fmt(t.rate_a) << ", " << fmt(t.rate_b) << ") -> " << fmt(t.mw)
+           << " mW\n";
+      }
+      os << "  cost: rP = " << fmt(ev.r_power) << ", rA = " << fmt(ev.r_area)
+         << ", h = " << fmt(ev.h) << "; slack " << fmt(ev.slack_before_ns) << " -> est. "
+         << fmt(ev.est_slack_after_ns) << " ns\n";
+      os << "  decision: " << candidate_decision(ev) << "\n";
+    }
+  }
+  if (!found) {
+    std::set<std::string> names;
+    for (const IterationLog& log : result.iterations) {
+      for (const CandidateEvaluation& ev : log.evaluations) names.insert(ev.cell_name);
+    }
+    os << "candidate '" << cell_name << "' was never evaluated; known candidates:";
+    for (const std::string& n : names) os << " " << n;
+    os << "\n";
+  }
+  return found;
+}
+
+}  // namespace opiso::obs

@@ -1,0 +1,61 @@
+#pragma once
+// Power-attribution ledger — every mW of the run report, accounted for.
+//
+// The savings model is an accounting identity: the reported primary
+// (Eq. 1–3), secondary (Eq. 4–5) and overhead totals of each candidate
+// are sums of per-term addends that SavingsEstimator records as it
+// computes them (isolation/savings.hpp, SavingsTerm). This module turns
+// the recorded terms into
+//
+//   1. the `power_attribution` section of the run report — schema
+//      opiso.power_attribution/v1 — whose per-candidate term lists
+//      provably sum to the `iterations[].candidates[]` totals (the
+//      sums are re-derived here and asserted by tests/test_attribution),
+//   2. a per-candidate plain-text decision narrative for
+//      `opiso explain <design> --candidate <cell>`: which iterations
+//      evaluated the module, every Eq. 1–5 term with its measured
+//      probability, rates and Eq. 2 rescale flags, the fanout z_j
+//      decisions, and why the candidate was (not) isolated.
+//
+// Section shape:
+//   "power_attribution": {
+//     "schema": "opiso.power_attribution/v1",
+//     "iterations": [{"iteration": 0, "candidates": [{
+//        "cell": "...", "style": "and", "decision": "isolated",
+//        "primary_mw": ..., "secondary_mw": ..., "overhead_mw": ...,
+//        "net_mw": ...,
+//        "terms": [{"kind": "primary.pair", "mw": ..., "probability": ...,
+//                   "rate_a": ..., "rate_b": ..., "source_a": "...",
+//                   "rescaled_a": false, ...}, ...]}]}]}
+
+#include <iosfwd>
+#include <string_view>
+
+#include "isolation/algorithm.hpp"
+#include "obs/json.hpp"
+
+namespace opiso::obs {
+
+/// Per-kind-prefix sums of a term list ("primary", "secondary",
+/// "overhead") — the ledger side of the accounting identity.
+struct AttributionSums {
+  double primary_mw = 0.0;
+  double secondary_mw = 0.0;
+  double overhead_mw = 0.0;
+};
+[[nodiscard]] AttributionSums sum_attribution(const std::vector<SavingsTerm>& terms);
+
+/// One recorded term as JSON (stable keys; zero/empty fields omitted
+/// except the always-present kind/mw/probability).
+[[nodiscard]] JsonValue savings_term_json(const SavingsTerm& term);
+
+/// The full ledger section for a finished run.
+[[nodiscard]] JsonValue build_power_attribution(const IsolationResult& result);
+
+/// Print the decision narrative for one candidate cell across all
+/// iterations. Returns false (and prints the known candidate names) if
+/// the cell was never evaluated.
+bool write_candidate_narrative(std::ostream& os, const IsolationResult& result,
+                               std::string_view cell_name);
+
+}  // namespace opiso::obs

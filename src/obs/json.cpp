@@ -1,8 +1,10 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -139,14 +141,41 @@ class Parser {
 
   JsonValue parse_number() {
     const std::size_t start = pos_;
+    bool integral = true;
     if (peek() == '-') ++pos_;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
             text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
             text_[pos_] == '-')) {
+      if (!std::isdigit(static_cast<unsigned char>(text_[pos_])) && text_[pos_] != '-') {
+        integral = false;
+      }
       ++pos_;
     }
     const std::string token(text_.substr(start, pos_ - start));
+    if (integral && !token.empty()) {
+      // Exact path: integer tokens round-trip through int64/uint64 so
+      // counters beyond 2^53 survive parse() unchanged. Out-of-range
+      // tokens fall back to the double path below.
+      const char* first = token.data();
+      const char* last = token.data() + token.size();
+      if (token[0] == '-') {
+        std::int64_t v = 0;
+        const auto [ptr, ec] = std::from_chars(first, last, v);
+        if (ec == std::errc() && ptr == last) return JsonValue(static_cast<long long>(v));
+      } else {
+        std::uint64_t v = 0;
+        const auto [ptr, ec] = std::from_chars(first, last, v);
+        if (ec == std::errc() && ptr == last) {
+          // Prefer the signed representation when it fits, so the common
+          // case compares exactly against values built from int/long.
+          if (v <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+            return JsonValue(static_cast<long long>(v));
+          }
+          return JsonValue(static_cast<unsigned long long>(v));
+        }
+      }
+    }
     try {
       std::size_t used = 0;
       const double d = std::stod(token, &used);
@@ -226,6 +255,41 @@ double JsonValue::as_number() const {
   return num_;
 }
 
+std::int64_t JsonValue::as_int64() const {
+  OPISO_REQUIRE(kind_ == Kind::Number, "JsonValue: not a number");
+  switch (rep_) {
+    case NumRep::Int64:
+      return static_cast<std::int64_t>(ibits_);
+    case NumRep::Uint64:
+      OPISO_REQUIRE(ibits_ <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()),
+                    "JsonValue: uint64 value does not fit int64");
+      return static_cast<std::int64_t>(ibits_);
+    case NumRep::Double:
+      break;
+  }
+  OPISO_REQUIRE(num_ == std::floor(num_) && num_ >= -9.223372036854776e18 &&
+                    num_ < 9.223372036854776e18,
+                "JsonValue: double value is not an exact int64");
+  return static_cast<std::int64_t>(num_);
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  OPISO_REQUIRE(kind_ == Kind::Number, "JsonValue: not a number");
+  switch (rep_) {
+    case NumRep::Uint64:
+      return ibits_;
+    case NumRep::Int64:
+      OPISO_REQUIRE(static_cast<std::int64_t>(ibits_) >= 0,
+                    "JsonValue: negative value does not fit uint64");
+      return ibits_;
+    case NumRep::Double:
+      break;
+  }
+  OPISO_REQUIRE(num_ == std::floor(num_) && num_ >= 0.0 && num_ < 1.8446744073709552e19,
+                "JsonValue: double value is not an exact uint64");
+  return static_cast<std::uint64_t>(num_);
+}
+
 const std::string& JsonValue::as_string() const {
   OPISO_REQUIRE(kind_ == Kind::String, "JsonValue: not a string");
   return str_;
@@ -284,7 +348,15 @@ void JsonValue::write_indented(std::ostream& os, int indent, int depth) const {
   switch (kind_) {
     case Kind::Null: os << "null"; break;
     case Kind::Bool: os << (bool_ ? "true" : "false"); break;
-    case Kind::Number: write_number(os, num_); break;
+    case Kind::Number:
+      if (rep_ == NumRep::Int64) {
+        os << static_cast<std::int64_t>(ibits_);
+      } else if (rep_ == NumRep::Uint64) {
+        os << ibits_;
+      } else {
+        write_number(os, num_);
+      }
+      break;
     case Kind::String: write_escaped(os, str_); break;
     case Kind::Array: {
       if (elements_.empty()) {

@@ -8,9 +8,12 @@
 // without an external dependency. Objects preserve insertion order so
 // reports diff cleanly between runs.
 //
-// Numbers are stored as doubles; integral values within the exact
-// double range print without a fractional part, so counters come back
-// as JSON integers.
+// Numbers constructed from integral types keep an exact int64/uint64
+// representation that survives dump() → parse() round trips, so large
+// counters (e.g. sim.cycles over a long sweep, which exceed 2^53) never
+// lose precision through a double. Numbers constructed from doubles
+// stay doubles; integral double values within the exact range still
+// print without a fractional part.
 
 #include <cstdint>
 #include <iosfwd>
@@ -27,15 +30,22 @@ class JsonValue {
  public:
   enum class Kind { Null, Bool, Number, String, Array, Object };
 
+  /// How a Number is stored. Integral constructors keep the exact
+  /// value; as_number() converts on demand.
+  enum class NumRep { Double, Int64, Uint64 };
+
   JsonValue() = default;  // null
   JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
   JsonValue(double d) : kind_(Kind::Number), num_(d) {}
-  JsonValue(int i) : kind_(Kind::Number), num_(i) {}
-  JsonValue(unsigned i) : kind_(Kind::Number), num_(i) {}
-  JsonValue(long i) : kind_(Kind::Number), num_(static_cast<double>(i)) {}
-  JsonValue(long long i) : kind_(Kind::Number), num_(static_cast<double>(i)) {}
-  JsonValue(unsigned long i) : kind_(Kind::Number), num_(static_cast<double>(i)) {}
-  JsonValue(unsigned long long i) : kind_(Kind::Number), num_(static_cast<double>(i)) {}
+  JsonValue(int i) : JsonValue(static_cast<long long>(i)) {}
+  JsonValue(unsigned i) : JsonValue(static_cast<unsigned long long>(i)) {}
+  JsonValue(long i) : JsonValue(static_cast<long long>(i)) {}
+  JsonValue(long long i)
+      : kind_(Kind::Number), rep_(NumRep::Int64), num_(static_cast<double>(i)),
+        ibits_(static_cast<std::uint64_t>(i)) {}
+  JsonValue(unsigned long i) : JsonValue(static_cast<unsigned long long>(i)) {}
+  JsonValue(unsigned long long i)
+      : kind_(Kind::Number), rep_(NumRep::Uint64), num_(static_cast<double>(i)), ibits_(i) {}
   JsonValue(const char* s) : kind_(Kind::String), str_(s) {}
   JsonValue(std::string_view s) : kind_(Kind::String), str_(s) {}
   JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
@@ -62,6 +72,15 @@ class JsonValue {
   [[nodiscard]] bool as_bool() const;
   [[nodiscard]] double as_number() const;
   [[nodiscard]] const std::string& as_string() const;
+
+  /// Exact-integer interface. is_integer() is true for numbers built
+  /// from (or parsed as) integral values; as_int64/as_uint64 throw when
+  /// the stored value does not fit the requested range (including
+  /// non-integral doubles).
+  [[nodiscard]] bool is_integer() const { return kind_ == Kind::Number && rep_ != NumRep::Double; }
+  [[nodiscard]] NumRep num_rep() const { return rep_; }
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] std::uint64_t as_uint64() const;
 
   /// Object access: insert-or-get (mutable) / lookup (const, throws on
   /// a missing key). A null value silently becomes an object on the
@@ -95,8 +114,10 @@ class JsonValue {
   void write_indented(std::ostream& os, int indent, int depth) const;
 
   Kind kind_ = Kind::Null;
+  NumRep rep_ = NumRep::Double;
   bool bool_ = false;
   double num_ = 0.0;
+  std::uint64_t ibits_ = 0;  ///< exact value for Int64 (two's complement) / Uint64
   std::string str_;
   std::vector<JsonValue> elements_;                          // Array
   std::vector<std::pair<std::string, JsonValue>> members_;   // Object

@@ -8,9 +8,12 @@ namespace {
 
 /// Bucket index for a histogram value: powers of two centered so that
 /// values in (2^(k-1), 2^k] land in the bucket labeled 2^k. Values ≤ 0
-/// share the lowest bucket; tiny/huge magnitudes clamp at the ends.
+/// (and -inf) share the lowest bucket; tiny/huge magnitudes and +inf
+/// clamp at the ends. +inf must be caught before log2: casting an
+/// infinite double to int is undefined behavior.
 int bucket_index(double v) {
   if (!(v > 0.0)) return 0;
+  if (std::isinf(v)) return 63;
   const int e = static_cast<int>(std::ceil(std::log2(v)));
   const int idx = e + 32;
   if (idx < 1) return 1;
@@ -21,6 +24,7 @@ int bucket_index(double v) {
 }  // namespace
 
 void Histogram::record(double v) {
+  if (std::isnan(v)) return;  // a NaN sample would poison sum/min/max forever
   std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
     min_ = v;

@@ -49,6 +49,9 @@ class Gauge {
 
 class Histogram {
  public:
+  /// NaN samples are dropped (they would poison sum/min/max for the
+  /// rest of the run); ±inf samples are counted, clamp to the extreme
+  /// buckets, and propagate into sum/min/max per IEEE rules.
   void record(double v);
   [[nodiscard]] std::uint64_t count() const;
   [[nodiscard]] double sum() const;

@@ -1,0 +1,112 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace opiso::obs {
+
+namespace {
+
+ProfileNode& child_of(ProfileNode& parent, const std::string& name) {
+  std::unique_ptr<ProfileNode>& slot = parent.children[name];
+  if (!slot) {
+    slot = std::make_unique<ProfileNode>();
+    slot->name = name;
+  }
+  return *slot;
+}
+
+void finalize_self_times(ProfileNode& node) {
+  std::uint64_t children_total = 0;
+  for (auto& [name, child] : node.children) {
+    finalize_self_times(*child);
+    children_total += child->total_ns;
+  }
+  // Clamp: a child recorded concurrently with its parent's tail can
+  // nominally overrun it by clock granularity.
+  node.self_ns = node.total_ns > children_total ? node.total_ns - children_total : 0;
+}
+
+JsonValue node_to_json(const ProfileNode& node, double root_total_ns) {
+  JsonValue j = JsonValue::object();
+  j["name"] = node.name;
+  j["count"] = node.count;
+  j["total_ns"] = node.total_ns;
+  j["self_ns"] = node.self_ns;
+  if (root_total_ns > 0.0) {
+    j["total_pct"] = 100.0 * static_cast<double>(node.total_ns) / root_total_ns;
+    j["self_pct"] = 100.0 * static_cast<double>(node.self_ns) / root_total_ns;
+  }
+  if (!node.children.empty()) {
+    JsonValue kids = JsonValue::array();
+    for (const auto& [name, child] : node.children) {
+      kids.push_back(node_to_json(*child, root_total_ns));
+    }
+    j["children"] = std::move(kids);
+  }
+  return j;
+}
+
+void write_folded_rec(std::ostream& os, const ProfileNode& node, const std::string& prefix) {
+  const std::string path = prefix.empty() ? node.name : prefix + ";" + node.name;
+  const std::uint64_t self_us = node.self_ns / 1000;
+  if (self_us > 0) os << path << " " << self_us << "\n";
+  for (const auto& [name, child] : node.children) write_folded_rec(os, *child, path);
+}
+
+}  // namespace
+
+ProfileNode build_profile_tree(const std::vector<TraceEvent>& events) {
+  ProfileNode root;
+  root.name = "(root)";
+
+  // Per-thread replay: sort that thread's spans by start time (parents
+  // tie-break before children via depth), then walk with a depth-indexed
+  // stack — an event of depth d is a call inside the last depth d-1
+  // event. Threads merge into one tree by path.
+  std::map<int, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& e : events) by_tid[e.tid].push_back(&e);
+
+  for (auto& [tid, stream] : by_tid) {
+    std::sort(stream.begin(), stream.end(), [](const TraceEvent* a, const TraceEvent* b) {
+      if (a->start_ns != b->start_ns) return a->start_ns < b->start_ns;
+      return a->depth < b->depth;
+    });
+    std::vector<ProfileNode*> stack;  // stack[d] = node of the open span at depth d
+    for (const TraceEvent* e : stream) {
+      const int depth = std::max(e->depth, 0);
+      ProfileNode& parent =
+          (depth == 0 || static_cast<std::size_t>(depth) > stack.size())
+              ? root
+              : *stack[static_cast<std::size_t>(depth) - 1];
+      ProfileNode& node = child_of(parent, e->name);
+      node.count += 1;
+      node.total_ns += e->dur_ns;
+      stack.resize(static_cast<std::size_t>(depth));
+      stack.push_back(&node);
+    }
+  }
+
+  for (const auto& [name, child] : root.children) root.total_ns += child->total_ns;
+  root.count = 1;
+  finalize_self_times(root);
+  return root;
+}
+
+JsonValue profile_to_json(const ProfileNode& root) {
+  JsonValue doc = JsonValue::object();
+  doc["schema"] = "opiso.profile/v1";
+  doc["total_ns"] = root.total_ns;
+  JsonValue tree = JsonValue::array();
+  for (const auto& [name, child] : root.children) {
+    tree.push_back(node_to_json(*child, static_cast<double>(root.total_ns)));
+  }
+  doc["tree"] = std::move(tree);
+  return doc;
+}
+
+void write_folded(std::ostream& os, const ProfileNode& root) {
+  for (const auto& [name, child] : root.children) write_folded_rec(os, *child, "");
+}
+
+}  // namespace opiso::obs

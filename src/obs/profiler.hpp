@@ -1,0 +1,59 @@
+#pragma once
+// Hierarchical phase profiler: OPISO_SPAN events → aggregated call tree.
+//
+// The tracer records one flat completed-span event per OPISO_SPAN
+// (name, start, duration, depth, thread index). This module folds that
+// stream into a profile tree: one node per distinct call path
+// ("isolate.run;isolate.iteration;sim.run"), carrying call count, total
+// wall time, self time (total minus the children's totals) and
+// percentages of the run. Events from different threads build separate
+// stacks and merge by path, so a SweepRunner worker's "sweep.task"
+// spans aggregate under "sweep.run" siblings rather than corrupting the
+// main thread's nesting.
+//
+// Two exports:
+//   profile_to_json()  — nested tree for the run report ("profile"
+//                        section; schema opiso.profile/v1)
+//   write_folded()     — collapsed-stack text (one "a;b;c <self_us>"
+//                        line per node) for flamegraph.pl / speedscope
+//                        / inferno, via `opiso ... --profile out.folded`.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace opiso::obs {
+
+struct ProfileNode {
+  std::string name;
+  std::uint64_t count = 0;     ///< completed spans at this path
+  std::uint64_t total_ns = 0;  ///< summed wall time (includes children)
+  std::uint64_t self_ns = 0;   ///< total_ns minus children's total_ns
+  /// Children keyed by span name; deterministic (sorted) iteration so
+  /// the JSON/folded output is stable across runs of the same trace.
+  std::map<std::string, std::unique_ptr<ProfileNode>> children;
+};
+
+/// Fold a completed-span stream into a profile tree. The returned root
+/// is synthetic (name "(root)"): its children are the top-level spans,
+/// its total is their sum. Events must come from Tracer::events() (or
+/// any list with consistent per-thread depths).
+[[nodiscard]] ProfileNode build_profile_tree(const std::vector<TraceEvent>& events);
+
+/// Nested JSON: {"schema": "opiso.profile/v1", "total_ns": ...,
+/// "tree": [{"name": ..., "count": ..., "total_ns": ..., "self_ns": ...,
+///           "total_pct": ..., "self_pct": ..., "children": [...]}]}
+/// Percentages are of the root total.
+[[nodiscard]] JsonValue profile_to_json(const ProfileNode& root);
+
+/// Collapsed-stack text: "isolate.run;sim.run 1234\n" with self time in
+/// microseconds (flamegraph-compatible; zero-self nodes are skipped).
+void write_folded(std::ostream& os, const ProfileNode& root);
+
+}  // namespace opiso::obs

@@ -2,7 +2,10 @@
 
 #include <ostream>
 
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 
 namespace opiso::obs {
 
@@ -99,6 +102,10 @@ JsonValue build_run_report(const IsolationResult& result, const IsolationOptions
   }
   doc["isolated_modules"] = std::move(records);
 
+  doc["power_attribution"] = build_power_attribution(result);
+  if (Tracer::instance().enabled() && Tracer::instance().num_events() > 0) {
+    doc["profile"] = profile_to_json(build_profile_tree(Tracer::instance().events()));
+  }
   doc["metrics"] = metrics().snapshot();
   return doc;
 }

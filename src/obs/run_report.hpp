@@ -29,6 +29,11 @@
 //     "isolated_modules": [{"cell": "...", "style": "...",
 //                           "as_net": "...", "isolated_bits": ...,
 //                           "activation_literals": ...}],
+//     "power_attribution": { ...opiso.power_attribution/v1 ledger:
+//                            per-candidate Eq. 1-5 terms whose sums
+//                            equal the candidates[] totals... },
+//     "profile": { ...opiso.profile/v1 span tree (only when the
+//                  tracer is enabled and recorded events)... },
 //     "metrics": { ...MetricsRegistry snapshot... }
 //   }
 //

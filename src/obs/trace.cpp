@@ -8,7 +8,17 @@ namespace opiso::obs {
 
 namespace {
 thread_local int t_depth = 0;
+
+std::atomic<int> g_next_thread_index{0};
+thread_local int t_thread_index = -1;
 }  // namespace
+
+int Tracer::current_thread_index() {
+  if (t_thread_index < 0) {
+    t_thread_index = g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_index;
+}
 
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
 
@@ -24,9 +34,10 @@ std::uint64_t Tracer::now_ns() const {
           .count());
 }
 
-void Tracer::record(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns, int depth) {
+void Tracer::record(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns, int depth,
+                    int tid) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(TraceEvent{std::move(name), start_ns, dur_ns, depth});
+  events_.push_back(TraceEvent{std::move(name), start_ns, dur_ns, depth, tid});
 }
 
 std::vector<TraceEvent> Tracer::events() const {
@@ -55,7 +66,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
       ev["name"] = e.name;
       ev["ph"] = "X";
       ev["pid"] = 1;
-      ev["tid"] = 1;
+      ev["tid"] = e.tid + 1;  // chrome://tracing reserves 0 for the process row
       // Chrome trace timestamps/durations are microseconds.
       ev["ts"] = static_cast<double>(e.start_ns) / 1000.0;
       ev["dur"] = static_cast<double>(e.dur_ns) / 1000.0;
@@ -82,7 +93,7 @@ void Span::end() {
   Tracer& tracer = Tracer::instance();
   const std::uint64_t end_ns = tracer.now_ns();
   --t_depth;
-  tracer.record(name_, start_ns_, end_ns - start_ns_, depth_);
+  tracer.record(name_, start_ns_, end_ns - start_ns_, depth_, Tracer::current_thread_index());
 }
 
 }  // namespace opiso::obs

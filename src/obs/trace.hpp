@@ -35,6 +35,7 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;  ///< since the tracer's epoch (steady clock)
   std::uint64_t dur_ns = 0;
   int depth = 0;  ///< nesting level of the recording thread at begin
+  int tid = 0;    ///< small per-thread index (first-use order), not the OS id
 };
 
 class Tracer {
@@ -48,7 +49,13 @@ class Tracer {
   /// Nanoseconds since the tracer's construction (steady clock).
   [[nodiscard]] std::uint64_t now_ns() const;
 
-  void record(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns, int depth);
+  void record(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns, int depth,
+              int tid);
+
+  /// Stable small index of the calling thread (assigned on first use).
+  /// Spans record it so multi-threaded traces keep one coherent lane
+  /// per worker instead of interleaving everything on tid 1.
+  [[nodiscard]] static int current_thread_index();
 
   /// Snapshot of all recorded events (copies under the lock).
   [[nodiscard]] std::vector<TraceEvent> events() const;

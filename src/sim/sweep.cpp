@@ -1,6 +1,7 @@
 #include "sim/sweep.hpp"
 
 #include <chrono>
+#include <mutex>
 #include <numeric>
 
 #include "obs/metrics.hpp"
@@ -21,6 +22,7 @@ std::unique_ptr<Stimulus> make_task_stimulus(const SweepTask& task, std::uint64_
 }  // namespace
 
 SweepResult run_sweep_task(const SweepTask& task) {
+  OPISO_SPAN("sweep.task");
   OPISO_REQUIRE(task.make_design != nullptr, "sweep task '" + task.design + "': no design");
   OPISO_REQUIRE(task.lanes >= 1 && task.lanes <= ParallelSimulator::kMaxLanes,
                 "sweep task '" + task.design + "': lanes must be in [1,64]");
@@ -67,13 +69,29 @@ SweepRunner::SweepRunner(unsigned threads) : impl_(std::make_shared<Impl>(thread
 
 unsigned SweepRunner::threads() const { return impl_->pool.size(); }
 
-std::vector<SweepResult> SweepRunner::run(const std::vector<SweepTask>& tasks) {
+std::vector<SweepResult> SweepRunner::run(const std::vector<SweepTask>& tasks,
+                                          const SweepProgressFn& progress) {
   OPISO_SPAN("sweep.run");
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<SweepResult> results(tasks.size());
-  // Ordered reduction: worker i writes slot i, nothing else.
-  impl_->pool.parallel_for(tasks.size(),
-                           [&](std::size_t i) { results[i] = run_sweep_task(tasks[i]); });
+  std::mutex progress_mu;
+  std::size_t completed = 0;
+  // Ordered reduction: worker i writes slot i, nothing else. Progress
+  // reporting is a side channel and never touches the results.
+  impl_->pool.parallel_for(tasks.size(), [&](std::size_t i) {
+    results[i] = run_sweep_task(tasks[i]);
+    if (!progress) return;
+    std::lock_guard<std::mutex> lock(progress_mu);
+    SweepProgress p;
+    p.completed = ++completed;
+    p.total = tasks.size();
+    p.task_index = i;
+    p.elapsed_sec = std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+                        .count();
+    p.eta_sec = p.elapsed_sec / static_cast<double>(p.completed) *
+                static_cast<double>(p.total - p.completed);
+    progress(p);
+  });
 
   const std::uint64_t run_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -

@@ -55,13 +55,30 @@ struct SweepResult {
 /// Execute one task synchronously (also the per-worker body).
 [[nodiscard]] SweepResult run_sweep_task(const SweepTask& task);
 
+/// Snapshot passed to the progress callback after each task completes.
+/// `task_index` is the finished task; completion order is scheduling-
+/// dependent, so progress output is informational only — the result
+/// vector and report stay deterministic regardless.
+struct SweepProgress {
+  std::size_t completed = 0;   ///< tasks finished so far (including this one)
+  std::size_t total = 0;       ///< tasks in the sweep
+  std::size_t task_index = 0;  ///< index of the task that just finished
+  double elapsed_sec = 0.0;
+  double eta_sec = 0.0;  ///< elapsed/completed * remaining
+};
+using SweepProgressFn = std::function<void(const SweepProgress&)>;
+
 class SweepRunner {
  public:
   /// `threads` = 0 picks the hardware concurrency.
   explicit SweepRunner(unsigned threads = 0);
 
   /// Fan all tasks across the pool; results come back in task order.
-  [[nodiscard]] std::vector<SweepResult> run(const std::vector<SweepTask>& tasks);
+  /// `progress`, when set, is invoked once per completed task from the
+  /// finishing worker, serialized by an internal mutex (safe to write
+  /// to a stream from it).
+  [[nodiscard]] std::vector<SweepResult> run(const std::vector<SweepTask>& tasks,
+                                             const SweepProgressFn& progress = nullptr);
 
   [[nodiscard]] unsigned threads() const;
 

@@ -52,13 +52,16 @@ void ThreadPool::worker_loop() {
       }
       ++executed;
     }
-    busy_ns_.fetch_add(
+    const std::uint64_t worker_ns =
         static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                        std::chrono::steady_clock::now() - t0)
-                                       .count()),
-        std::memory_order_relaxed);
+                                       .count());
+    busy_ns_.fetch_add(worker_ns, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // Report busy time before the completion signal so the caller's
+      // snapshot covers every worker that did work this generation.
+      if (executed > 0) generation_busy_ns_.push_back(worker_ns);
       done_ += executed;
       // All indices handed out and the last executor reports in: the
       // count of executed tasks reaching n_ is the completion signal.
@@ -82,15 +85,21 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     done_ = 0;
     error_ = nullptr;
     error_index_ = 0;
+    generation_busy_ns_.clear();
+    if (n > queue_depth_max_) queue_depth_max_ = n;
     ++generation_;
   }
   work_cv_.notify_all();
   std::exception_ptr error;
+  std::vector<std::uint64_t> worker_busy;
+  std::size_t queue_depth_max = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return done_ >= n_; });
     fn_ = nullptr;
     error = error_;
+    worker_busy = generation_busy_ns_;
+    queue_depth_max = queue_depth_max_;
   }
 
   const std::uint64_t wall_ns = static_cast<std::uint64_t>(
@@ -102,6 +111,12 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   m.counter("pool.tasks").add(n);
   m.counter("pool.busy_ns").add(busy_ns_.load(std::memory_order_relaxed));
   m.gauge("pool.workers").set(static_cast<double>(size()));
+  m.gauge("pool.queue_depth_max").set(static_cast<double>(queue_depth_max));
+  // One sample per worker that ran tasks: the histogram's min/max
+  // spread is the load-imbalance signal for this pool.
+  for (const std::uint64_t ns : worker_busy) {
+    m.histogram("pool.worker_busy_ns").record(static_cast<double>(ns));
+  }
   if (wall_ns > 0) {
     m.gauge("pool.occupancy")
         .set(static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) /

@@ -17,7 +17,9 @@
 // in-flight task has drained (again: deterministic).
 //
 // Occupancy metrics flush to the registry once per parallel_for
-// ("pool.tasks", "pool.busy_ns", "pool.occupancy"), never per task.
+// ("pool.tasks", "pool.busy_ns", "pool.occupancy", the per-worker
+// "pool.worker_busy_ns" histogram and the high-water "pool.
+// queue_depth_max" gauge), never per task.
 
 #include <atomic>
 #include <condition_variable>
@@ -69,6 +71,11 @@ class ThreadPool {
   std::size_t error_index_ = 0;
 
   std::atomic<std::uint64_t> busy_ns_{0};
+  /// Busy time of each worker that executed >= 1 task this generation;
+  /// reported under mu_ before the completion signal, so parallel_for
+  /// reads a consistent snapshot. Feeds "pool.worker_busy_ns".
+  std::vector<std::uint64_t> generation_busy_ns_;
+  std::size_t queue_depth_max_ = 0;  ///< max n over the pool's lifetime
 };
 
 }  // namespace opiso

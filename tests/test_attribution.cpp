@@ -1,0 +1,148 @@
+// Power-attribution ledger: the Eq. 1-5 terms recorded per candidate
+// must sum to the totals the run report states — the accounting
+// identity the ledger exists to prove. Runs the paper's three designs
+// under two bank styles; labeled bench-smoke so the bench gate also
+// exercises it.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+
+#include "designs/designs.hpp"
+#include "isolation/algorithm.hpp"
+#include "obs/attribution.hpp"
+#include "obs/run_report.hpp"
+
+namespace opiso::obs {
+namespace {
+
+IsolationResult run_isolation(const Netlist& nl, IsolationStyle style) {
+  IsolationOptions opt;
+  opt.style = style;
+  opt.sim_cycles = 512;
+  return run_operand_isolation(
+      nl, [] { return std::make_unique<UniformStimulus>(7); }, opt);
+}
+
+bool kind_is(const std::string& kind, const char* prefix) {
+  return kind.rfind(prefix, 0) == 0;
+}
+
+TEST(Attribution, TermsSumToReportedTotals) {
+  const std::vector<std::pair<std::string, std::function<Netlist()>>> designs = {
+      {"fig1", [] { return make_fig1(); }},
+      {"design1", [] { return make_design1(); }},
+      {"design2", [] { return make_design2(); }},
+  };
+  for (const auto& [dname, make] : designs) {
+    for (const IsolationStyle style : {IsolationStyle::And, IsolationStyle::Latch}) {
+      SCOPED_TRACE(dname + "/" + std::string(isolation_style_name(style)));
+      IsolationOptions opt;
+      opt.style = style;
+      opt.sim_cycles = 512;
+      const IsolationResult res = run_operand_isolation(
+          make(), [] { return std::make_unique<UniformStimulus>(7); }, opt);
+      ASSERT_FALSE(res.iterations.empty());
+
+      // In-memory identity: the sums of the recorded addends equal the
+      // estimator's totals exactly (same additions, same order).
+      bool any_terms = false;
+      for (const IterationLog& log : res.iterations) {
+        for (const CandidateEvaluation& ev : log.evaluations) {
+          const AttributionSums sums = sum_attribution(ev.attribution);
+          EXPECT_DOUBLE_EQ(sums.primary_mw, ev.primary_mw) << ev.cell_name;
+          EXPECT_DOUBLE_EQ(sums.secondary_mw, ev.secondary_mw) << ev.cell_name;
+          EXPECT_DOUBLE_EQ(sums.overhead_mw, ev.overhead_mw) << ev.cell_name;
+          if (!ev.attribution.empty()) any_terms = true;
+        }
+      }
+      EXPECT_TRUE(any_terms);
+
+      // Report-level identity (the acceptance bound): re-sum the
+      // serialized ledger terms and compare against the candidates[]
+      // rows of the same document, within 1e-9.
+      const JsonValue doc = build_run_report(res, opt);
+      ASSERT_TRUE(doc.contains("power_attribution"));
+      const JsonValue& ledger = doc.at("power_attribution");
+      EXPECT_EQ(ledger.at("schema").as_string(), "opiso.power_attribution/v1");
+      ASSERT_EQ(ledger.at("iterations").size(), doc.at("iterations").size());
+      for (std::size_t i = 0; i < ledger.at("iterations").size(); ++i) {
+        const JsonValue& rep_cands = doc.at("iterations").at(i).at("candidates");
+        const JsonValue& led_cands = ledger.at("iterations").at(i).at("candidates");
+        ASSERT_EQ(led_cands.size(), rep_cands.size());
+        for (std::size_t j = 0; j < led_cands.size(); ++j) {
+          const JsonValue& rep_c = rep_cands.at(j);
+          const JsonValue& led_c = led_cands.at(j);
+          EXPECT_EQ(led_c.at("cell").as_string(), rep_c.at("cell").as_string());
+          EXPECT_EQ(led_c.at("decision").as_string(), rep_c.at("decision").as_string());
+          double primary = 0.0, secondary = 0.0, overhead = 0.0;
+          const JsonValue& terms = led_c.at("terms");
+          for (std::size_t t = 0; t < terms.size(); ++t) {
+            const std::string kind = terms.at(t).at("kind").as_string();
+            const double mw = terms.at(t).at("mw").as_number();
+            if (kind_is(kind, "primary.")) primary += mw;
+            else if (kind_is(kind, "secondary.")) secondary += mw;
+            else if (kind_is(kind, "overhead.")) overhead += mw;
+            else ADD_FAILURE() << "unknown term kind " << kind;
+          }
+          EXPECT_NEAR(primary, rep_c.at("primary_mw").as_number(), 1e-9);
+          EXPECT_NEAR(secondary, rep_c.at("secondary_mw").as_number(), 1e-9);
+          EXPECT_NEAR(overhead, rep_c.at("overhead_mw").as_number(), 1e-9);
+          // The ledger's own stated totals carry the same identity.
+          EXPECT_NEAR(led_c.at("primary_mw").as_number(),
+                      rep_c.at("primary_mw").as_number(), 1e-9);
+          EXPECT_NEAR(led_c.at("net_mw").as_number(),
+                      primary + secondary - overhead, 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(Attribution, TermsCarryModelProvenance) {
+  const IsolationResult res = run_isolation(make_fig1(), IsolationStyle::And);
+  bool saw_primary = false;
+  bool saw_overhead = false;
+  for (const IterationLog& log : res.iterations) {
+    for (const CandidateEvaluation& ev : log.evaluations) {
+      for (const SavingsTerm& t : ev.attribution) {
+        if (kind_is(t.kind, "primary.")) {
+          saw_primary = true;
+          EXPECT_GE(t.probability, 0.0);
+          EXPECT_LE(t.probability, 1.0);
+        }
+        if (kind_is(t.kind, "overhead.")) saw_overhead = true;
+        if (kind_is(t.kind, "secondary.")) {
+          EXPECT_FALSE(t.fanout.empty());
+          EXPECT_GE(t.fanout_port, 0);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_primary);
+  EXPECT_TRUE(saw_overhead);
+}
+
+TEST(Attribution, NarrativeExplainsKnownCandidateAndRejectsUnknown) {
+  const IsolationResult res = run_isolation(make_fig1(), IsolationStyle::And);
+  ASSERT_FALSE(res.iterations.empty());
+  ASSERT_FALSE(res.iterations[0].evaluations.empty());
+  const std::string cell = res.iterations[0].evaluations[0].cell_name;
+
+  std::ostringstream os;
+  EXPECT_TRUE(write_candidate_narrative(os, res, cell));
+  const std::string text = os.str();
+  EXPECT_NE(text.find("candidate '" + cell + "'"), std::string::npos);
+  EXPECT_NE(text.find("primary savings"), std::string::npos);
+  EXPECT_NE(text.find("isolation overhead"), std::string::npos);
+  EXPECT_NE(text.find("decision:"), std::string::npos);
+
+  std::ostringstream os2;
+  EXPECT_FALSE(write_candidate_narrative(os2, res, "no_such_cell"));
+  EXPECT_NE(os2.str().find("known candidates"), std::string::npos);
+  EXPECT_NE(os2.str().find(cell), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opiso::obs

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
+#include <set>
 #include <thread>
 
 #include "designs/designs.hpp"
@@ -12,6 +15,8 @@
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
+#include "sim/sweep.hpp"
+#include "support/error.hpp"
 
 namespace opiso::obs {
 namespace {
@@ -58,6 +63,42 @@ TEST(Json, IntegersStayIntegers) {
   JsonValue v(std::uint64_t{16384});
   EXPECT_EQ(v.dump(), "16384");
   EXPECT_DOUBLE_EQ(JsonValue::parse("16384").as_number(), 16384.0);
+}
+
+TEST(Json, IntegersExactBeyondDoublePrecision) {
+  // 2^53 + 1 is the first integer a double cannot hold; toggle counters
+  // on long sweeps get there. Build-side exactness:
+  const std::uint64_t big = 9007199254740993ull;  // 2^53 + 1
+  JsonValue v(big);
+  EXPECT_TRUE(v.is_integer());
+  EXPECT_EQ(v.dump(), "9007199254740993");
+  EXPECT_EQ(v.as_uint64(), big);
+  // Parse-side exactness, through a full round trip:
+  const JsonValue r = JsonValue::parse(v.dump());
+  EXPECT_TRUE(r.is_integer());
+  EXPECT_EQ(r.as_uint64(), big);
+  EXPECT_EQ(r.dump(), "9007199254740993");
+
+  // The extremes of both representations survive round trips too.
+  const JsonValue umax = JsonValue::parse("18446744073709551615");
+  EXPECT_EQ(umax.num_rep(), JsonValue::NumRep::Uint64);
+  EXPECT_EQ(umax.as_uint64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(umax.dump(), "18446744073709551615");
+  const JsonValue imin = JsonValue::parse("-9223372036854775808");
+  EXPECT_EQ(imin.num_rep(), JsonValue::NumRep::Int64);
+  EXPECT_EQ(imin.as_int64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(imin.dump(), "-9223372036854775808");
+
+  // Conversions that cannot represent the value must throw, not wrap.
+  EXPECT_THROW((void)umax.as_int64(), Error);
+  EXPECT_THROW((void)imin.as_uint64(), Error);
+  // Non-integral tokens stay doubles even when they look integral-ish.
+  EXPECT_FALSE(JsonValue::parse("1e3").is_integer());
+  EXPECT_FALSE(JsonValue::parse("16384.0").is_integer());
+  // Beyond-uint64 magnitudes fall back to double instead of failing.
+  const JsonValue huge = JsonValue::parse("28446744073709551615");
+  EXPECT_FALSE(huge.is_integer());
+  EXPECT_GT(huge.as_number(), 1.8e19);
 }
 
 // --------------------------------------------------------------- Trace
@@ -128,6 +169,60 @@ TEST(Trace, ChromeTraceShape) {
   tracer.clear();
 }
 
+TEST(Trace, ConcurrentSweepWorkerSpansProduceValidChromeTrace) {
+  Tracer& tracer = Tracer::instance();
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  std::vector<SweepTask> tasks;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SweepTask t;
+    t.design = "fig1";
+    t.make_design = [] { return make_fig1(); };
+    t.seed = seed;
+    t.cycles = 64;
+    tasks.push_back(std::move(t));
+  }
+  SweepRunner runner(4);
+  const std::vector<SweepResult> results = runner.run(tasks);
+  tracer.set_enabled(false);
+  ASSERT_EQ(results.size(), tasks.size());
+
+  // One sweep.task span per task (worker threads) + the caller's
+  // sweep.run span, with per-thread lanes: the caller never executes
+  // tasks, so its tid differs from every worker's.
+  const std::vector<TraceEvent> events = tracer.events();
+  std::set<int> task_tids;
+  int run_tid = -1;
+  std::size_t task_spans = 0;
+  for (const TraceEvent& e : events) {
+    if (e.name == "sweep.task") {
+      ++task_spans;
+      task_tids.insert(e.tid);
+    } else if (e.name == "sweep.run") {
+      run_tid = e.tid;
+    }
+  }
+  EXPECT_EQ(task_spans, tasks.size());
+  EXPECT_NE(run_tid, -1);
+  EXPECT_EQ(task_tids.count(run_tid), 0u);
+
+  // The serialized trace is one valid JSON document whose events all
+  // carry the Chrome trace-event fields.
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  ASSERT_EQ(doc.at("traceEvents").size(), events.size());
+  for (std::size_t i = 0; i < doc.at("traceEvents").size(); ++i) {
+    const JsonValue& ev = doc.at("traceEvents").at(i);
+    EXPECT_EQ(ev.at("ph").as_string(), "X");
+    EXPECT_TRUE(ev.at("ts").is_number());
+    EXPECT_TRUE(ev.at("dur").is_number());
+    EXPECT_GE(ev.at("tid").as_number(), 1.0);
+  }
+  tracer.clear();
+}
+
 // ------------------------------------------------------------- Metrics
 
 TEST(Metrics, CounterRegistryThreadSafety) {
@@ -164,6 +259,58 @@ TEST(Metrics, GaugeAndHistogram) {
   const JsonValue j = h.to_json();
   EXPECT_EQ(j.at("count").as_number(), 5.0);
   EXPECT_TRUE(j.at("buckets").size() >= 1u);
+}
+
+TEST(Metrics, HistogramEdgeCases) {
+  MetricsRegistry& m = metrics();
+  Histogram& h = m.histogram("test_obs.hist_edge");
+
+  // Single sample: min == max == the sample, mean is exact.
+  h.reset();
+  h.record(3.25);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.25);
+  EXPECT_DOUBLE_EQ(h.max(), 3.25);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.25);
+
+  // Negative values are legal samples (share the lowest bucket).
+  h.reset();
+  h.record(-5.0);
+  h.record(-1.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), -1.0);
+  EXPECT_DOUBLE_EQ(h.sum(), -6.0);
+
+  // NaN samples are dropped entirely.
+  h.reset();
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 0u);
+  h.record(2.0);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+
+  // ±inf samples count, clamp to the extreme buckets, and propagate
+  // into min/max — and the JSON snapshot stays parseable (non-finite
+  // doubles serialize as null).
+  h.reset();
+  h.record(std::numeric_limits<double>::infinity());
+  h.record(-std::numeric_limits<double>::infinity());
+  h.record(1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_TRUE(std::isinf(h.max()) && h.max() > 0);
+  EXPECT_TRUE(std::isinf(h.min()) && h.min() < 0);
+  const JsonValue j = h.to_json();
+  EXPECT_EQ(j.at("count").as_number(), 3.0);
+  // Non-finite doubles serialize as null, so the snapshot stays valid
+  // JSON and round-trips.
+  const JsonValue round = JsonValue::parse(j.dump());
+  EXPECT_TRUE(round.at("max").is_null());
+  EXPECT_TRUE(round.at("min").is_null());
+  EXPECT_EQ(round.dump(), JsonValue::parse(round.dump()).dump());
+  h.reset();
 }
 
 TEST(Metrics, SnapshotGroupsDottedNames) {

@@ -1,0 +1,153 @@
+// Hierarchical phase profiler: span stream → aggregated call tree,
+// JSON export, collapsed-stack (flamegraph) export.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+
+namespace opiso::obs {
+namespace {
+
+void busy_wait_ns(std::uint64_t ns) {
+  const std::uint64_t t0 = Tracer::instance().now_ns();
+  while (Tracer::instance().now_ns() - t0 < ns) {
+  }
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().clear();
+    Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+TEST_F(ProfilerTest, AggregatesByCallPath) {
+  {
+    OPISO_SPAN("a");
+    busy_wait_ns(200000);
+    {
+      OPISO_SPAN("b");
+      busy_wait_ns(100000);
+      { OPISO_SPAN("c"); }
+    }
+    { OPISO_SPAN("b"); }
+  }
+  { OPISO_SPAN("a"); }
+  Tracer::instance().set_enabled(false);
+
+  const ProfileNode root = build_profile_tree(Tracer::instance().events());
+  ASSERT_EQ(root.children.size(), 1u);
+  const ProfileNode& a = *root.children.at("a");
+  EXPECT_EQ(a.count, 2u);
+  ASSERT_EQ(a.children.size(), 1u);
+  const ProfileNode& b = *a.children.at("b");
+  EXPECT_EQ(b.count, 2u);
+  ASSERT_EQ(b.children.size(), 1u);
+  EXPECT_EQ(b.children.at("c")->count, 1u);
+
+  // Totals nest: the parent covers its children; self = total - kids.
+  EXPECT_GE(a.total_ns, b.total_ns);
+  EXPECT_EQ(a.self_ns, a.total_ns - b.total_ns);
+  EXPECT_EQ(root.total_ns, a.total_ns);
+  EXPECT_GT(a.self_ns, 0u);  // the busy-waits are a's own time
+}
+
+TEST_F(ProfilerTest, JsonExportCarriesPercentagesOfRootTotal) {
+  {
+    OPISO_SPAN("phase");
+    busy_wait_ns(100000);
+  }
+  Tracer::instance().set_enabled(false);
+
+  const ProfileNode root = build_profile_tree(Tracer::instance().events());
+  const JsonValue doc = profile_to_json(root);
+  EXPECT_EQ(doc.at("schema").as_string(), "opiso.profile/v1");
+  ASSERT_EQ(doc.at("tree").size(), 1u);
+  const JsonValue& node = doc.at("tree").at(0);
+  EXPECT_EQ(node.at("name").as_string(), "phase");
+  EXPECT_EQ(node.at("count").as_number(), 1.0);
+  // The only top-level span accounts for the whole profiled run.
+  EXPECT_DOUBLE_EQ(node.at("total_pct").as_number(), 100.0);
+  // Round-trippable like every other report section.
+  EXPECT_EQ(JsonValue::parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST_F(ProfilerTest, FoldedExportEmitsFlamegraphLines) {
+  {
+    OPISO_SPAN("outer");
+    busy_wait_ns(50000);
+    {
+      OPISO_SPAN("inner");
+      busy_wait_ns(50000);
+    }
+  }
+  Tracer::instance().set_enabled(false);
+
+  const ProfileNode root = build_profile_tree(Tracer::instance().events());
+  std::ostringstream os;
+  write_folded(os, root);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("outer;inner "), std::string::npos);
+  // Each line is "path space integer".
+  std::istringstream lines(text);
+  std::string path;
+  std::uint64_t us = 0;
+  int n = 0;
+  while (lines >> path >> us) ++n;
+  EXPECT_GE(n, 1);
+}
+
+TEST_F(ProfilerTest, ThreadsMergeByPathWithoutCorruptingNesting) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      OPISO_SPAN("worker");
+      busy_wait_ns(20000);
+      {
+        OPISO_SPAN("task");
+        busy_wait_ns(20000);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  Tracer::instance().set_enabled(false);
+
+  const std::vector<TraceEvent> events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 2u * kThreads);
+
+  const ProfileNode root = build_profile_tree(events);
+  ASSERT_EQ(root.children.size(), 1u);
+  const ProfileNode& worker = *root.children.at("worker");
+  EXPECT_EQ(worker.count, static_cast<std::uint64_t>(kThreads));
+  ASSERT_EQ(worker.children.size(), 1u);
+  EXPECT_EQ(worker.children.at("task")->count, static_cast<std::uint64_t>(kThreads));
+  // "task" never leaks to the top level: per-thread depths kept each
+  // worker's stack intact.
+  EXPECT_EQ(root.children.count("task"), 0u);
+}
+
+TEST_F(ProfilerTest, EmptyStreamYieldsEmptyTree) {
+  Tracer::instance().set_enabled(false);
+  const ProfileNode root = build_profile_tree({});
+  EXPECT_TRUE(root.children.empty());
+  EXPECT_EQ(root.total_ns, 0u);
+  std::ostringstream os;
+  write_folded(os, root);
+  EXPECT_TRUE(os.str().empty());
+  const JsonValue doc = profile_to_json(root);
+  EXPECT_EQ(doc.at("tree").size(), 0u);
+}
+
+}  // namespace
+}  // namespace opiso::obs

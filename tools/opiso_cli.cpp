@@ -7,23 +7,30 @@
 //   opiso isolate  <design> [options] [-o out.rtn]   run Algorithm 1
 //       --style and|or|latch   --cycles N   --omega-a X   --h-min X
 //       --slack-threshold NS   --lookahead  --report
+//   opiso explain  <design> --candidate NAME    per-candidate Eq. 1-5
+//       decision narrative from the power-attribution ledger
 //   opiso optimize <design> [-o out.rtn]        optimization passes
 //   opiso lower    <design> [-o out.rtn]        gate-level expansion
 //   opiso verify   <original> <transformed>     BDD equivalence proof
 //   opiso sweep    <design...> [options]        multithreaded simulation sweep
 //       --seeds N   --cycles N   --lanes N   --threads N   --sim scalar|parallel
+//   opiso report diff <a.json> <b.json>         tolerance-aware report diff
+//       [--tolerances FILE] [--subset]          exit 0 match, 1 diff, 2 usage
 //
 // Observability (any command): --trace FILE (Chrome-trace JSON),
 // --metrics FILE (metrics snapshot; for isolate: the full run report),
-// --progress (per-iteration one-liners on stderr).
+// --profile FILE (collapsed-stack span profile for flamegraphs),
+// --progress (per-iteration / per-sweep-task one-liners on stderr).
 //
 // <design> is a .rtn structural netlist or a .rtl RTL-language file
 // (chosen by extension).
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -34,7 +41,10 @@
 #include "lower/gate_level.hpp"
 #include "netlist/stats.hpp"
 #include "netlist/text_io.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/report_diff.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
 #include "opt/passes.hpp"
@@ -64,6 +74,10 @@ using namespace opiso;
       "      --slack-threshold NS   reject candidates estimated below this slack\n"
       "      --lookahead            register-lookahead activation derivation\n"
       "      --report               print the per-iteration candidate log\n"
+      "  explain    <design> --candidate NAME run Algorithm 1, then print the\n"
+      "      Eq. 1-5 decision narrative for one candidate from the power-\n"
+      "      attribution ledger (accepts the isolate options; exits 1 if the\n"
+      "      candidate was never evaluated)\n"
       "  optimize   <design> [-o out.rtn]     optimization passes\n"
       "  lower      <design> [-o out.rtn]     gate-level expansion\n"
       "  verify     <original> <transformed>  BDD equivalence proof\n"
@@ -76,7 +90,13 @@ using namespace opiso;
       "      --warmup N             per-lane warmup cycles (default: 0)\n"
       "      designs are builtin names (fig1, design1, design2) or files;\n"
       "      --metrics FILE writes the deterministic sweep report — it is\n"
-      "      bitwise identical for any --threads and --sim value\n"
+      "      bitwise identical for any --threads and --sim value;\n"
+      "      --progress prints one line per completed task with an ETA\n"
+      "  report diff <a.json> <b.json>        structural report diff:\n"
+      "      --tolerances FILE      opiso.report_tolerances/v1 rule file\n"
+      "      --subset               A is an expected subset of B\n"
+      "      exits 0 when the reports match, 1 with a per-field listing\n"
+      "      when they diverge beyond tolerance, 2 on usage errors\n"
       "\n"
       "power and isolate also accept --sim/--lanes to run their\n"
       "measurements on the 64-lane bit-parallel engine.\n"
@@ -85,7 +105,10 @@ using namespace opiso;
       "  --trace FILE     write a Chrome-trace JSON timeline of the run\n"
       "  --metrics FILE   write a metrics JSON snapshot\n"
       "                   (isolate: the full run report with per-iteration tables)\n"
-      "  --progress       per-iteration one-liners on stderr (isolate)\n"
+      "  --profile FILE   write a collapsed-stack span profile (flamegraph.pl /\n"
+      "                   speedscope input; implies tracing for the run)\n"
+      "  --progress       per-iteration (isolate) or per-task (sweep)\n"
+      "                   one-liners on stderr\n"
       "\n"
       "<design> is a .rtn structural netlist or a .rtl RTL-language file\n"
       "(chosen by extension).\n";
@@ -109,6 +132,10 @@ struct Args {
   bool report = false;
   std::string trace_path;
   std::string metrics_path;
+  std::string profile_path;
+  std::string candidate;
+  std::string tolerances_path;
+  bool subset = false;
   bool progress = false;
   SimEngineKind sim_engine = SimEngineKind::Scalar;
   bool sim_engine_set = false;
@@ -150,6 +177,14 @@ Args parse_args(int argc, char** argv) {
       args.trace_path = value();
     } else if (a == "--metrics") {
       args.metrics_path = value();
+    } else if (a == "--profile") {
+      args.profile_path = value();
+    } else if (a == "--candidate") {
+      args.candidate = value();
+    } else if (a == "--tolerances") {
+      args.tolerances_path = value();
+    } else if (a == "--subset") {
+      args.subset = true;
     } else if (a == "--progress") {
       args.progress = true;
     } else if (a == "--sim") {
@@ -204,6 +239,43 @@ void write_obs_artifacts(const Args& args, bool metrics_written) {
     obs::Tracer::instance().write_chrome_trace(os);
     std::cerr << "wrote " << args.trace_path << "\n";
   }
+  if (!args.profile_path.empty()) {
+    std::ofstream os(args.profile_path);
+    if (!os) throw Error("cannot open '" + args.profile_path + "' for writing");
+    const obs::ProfileNode root = obs::build_profile_tree(obs::Tracer::instance().events());
+    obs::write_folded(os, root);
+    std::cerr << "wrote " << args.profile_path << "\n";
+  }
+}
+
+obs::JsonValue load_json_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open '" + path + "'");
+  std::string text((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  return obs::JsonValue::parse(text);
+}
+
+int run_report_diff_cmd(const Args& args) {
+  // positional: ["diff", a.json, b.json]
+  if (args.positional.size() != 3 || args.positional[0] != "diff") usage();
+  const obs::JsonValue a = load_json_file(args.positional[1]);
+  const obs::JsonValue b = load_json_file(args.positional[2]);
+  obs::ToleranceSpec spec;
+  if (!args.tolerances_path.empty()) {
+    spec = obs::ToleranceSpec::parse(load_json_file(args.tolerances_path));
+  }
+  obs::DiffOptions options;
+  options.subset = args.subset;
+  const std::vector<obs::DiffEntry> entries = obs::diff_reports(a, b, spec, options);
+  if (entries.empty()) {
+    std::cerr << "reports match (" << args.positional[1] << " vs " << args.positional[2]
+              << ")\n";
+    return 0;
+  }
+  std::cerr << args.positional[1] << " vs " << args.positional[2] << ": " << entries.size()
+            << " difference(s)\n";
+  obs::print_diff(std::cout, entries);
+  return 1;
 }
 
 /// Sweep designs are builtin generator names or design files.
@@ -232,7 +304,19 @@ int run_sweep_cmd(const Args& args, bool& metrics_written) {
   }
   SweepRunner runner(args.threads);
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<SweepResult> results = runner.run(tasks);
+  SweepProgressFn progress;
+  if (args.progress) {
+    progress = [&tasks](const SweepProgress& p) {
+      char line[256];
+      std::snprintf(line, sizeof line,
+                    "[opiso] sweep %zu/%zu: %s seed %llu done (%.1fs elapsed, eta %.1fs)\n",
+                    p.completed, p.total, tasks[p.task_index].design.c_str(),
+                    static_cast<unsigned long long>(tasks[p.task_index].seed), p.elapsed_sec,
+                    p.eta_sec);
+      std::cerr << line;
+    };
+  }
+  const std::vector<SweepResult> results = runner.run(tasks, progress);
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
@@ -255,14 +339,38 @@ int run_sweep_cmd(const Args& args, bool& metrics_written) {
   return 0;
 }
 
+IsolationOptions isolate_options(const Args& args) {
+  IsolationOptions opt;
+  opt.style = args.style;
+  opt.sim_cycles = args.cycles;
+  opt.omega_a = args.omega_a;
+  opt.h_min = args.h_min;
+  opt.slack_threshold_ns = args.slack_threshold;
+  opt.activation.register_lookahead = args.lookahead;
+  opt.sim_engine = args.sim_engine;
+  opt.sim_lanes = args.lanes;
+  if (opt.sim_engine == SimEngineKind::Parallel) {
+    opt.lane_stimuli = [](unsigned lane) {
+      return std::make_unique<UniformStimulus>(sweep_lane_seed(1, lane));
+    };
+  }
+  return opt;
+}
+
 int run(int argc, char** argv) {
   if (argc < 3) usage();
   const std::string cmd = argv[1];
   const Args args = parse_args(argc, argv);
   if (args.positional.empty()) usage();
-  if (!args.trace_path.empty()) obs::Tracer::instance().set_enabled(true);
+  if (!args.trace_path.empty() || !args.profile_path.empty()) {
+    obs::Tracer::instance().set_enabled(true);
+  }
   int exit_code = 0;
   bool metrics_written = false;
+  if (cmd == "report") {
+    // No design to load: operands are report files.
+    return run_report_diff_cmd(args);
+  }
   if (cmd == "sweep") {
     // Handled before the shared design load: sweep takes several
     // designs, by builtin name or path.
@@ -310,20 +418,7 @@ int run(int argc, char** argv) {
               << pb.steering_mw << ", sequential " << pb.sequential_mw << ", isolation "
               << pb.isolation_mw << ")\n";
   } else if (cmd == "isolate") {
-    IsolationOptions opt;
-    opt.style = args.style;
-    opt.sim_cycles = args.cycles;
-    opt.omega_a = args.omega_a;
-    opt.h_min = args.h_min;
-    opt.slack_threshold_ns = args.slack_threshold;
-    opt.activation.register_lookahead = args.lookahead;
-    opt.sim_engine = args.sim_engine;
-    opt.sim_lanes = args.lanes;
-    if (opt.sim_engine == SimEngineKind::Parallel) {
-      opt.lane_stimuli = [](unsigned lane) {
-        return std::make_unique<UniformStimulus>(sweep_lane_seed(1, lane));
-      };
-    }
+    IsolationOptions opt = isolate_options(args);
     if (args.progress) {
       opt.on_iteration = [](const IterationLog& log) {
         std::cerr << "[opiso] iter " << log.iteration << ": power "
@@ -340,6 +435,19 @@ int run(int argc, char** argv) {
       metrics_written = true;
     }
     if (!args.out_path.empty()) emit(args, res.netlist);
+  } else if (cmd == "explain") {
+    if (args.candidate.empty()) {
+      std::cerr << "explain: --candidate NAME is required\n";
+      usage();
+    }
+    const IsolationOptions opt = isolate_options(args);
+    const IsolationResult res = run_operand_isolation(
+        design, [] { return std::make_unique<UniformStimulus>(1); }, opt);
+    if (!obs::write_candidate_narrative(std::cout, res, args.candidate)) exit_code = 1;
+    if (!args.metrics_path.empty()) {
+      write_json_file(args.metrics_path, obs::build_run_report(res, opt));
+      metrics_written = true;
+    }
   } else if (cmd == "optimize") {
     OptimizeStats stats;
     const Netlist o = optimize(design, {}, &stats);
