@@ -7,7 +7,7 @@
 
 namespace opiso {
 
-BddManager::BddManager() {
+BddManager::BddManager(BddBudget budget) : budget_(budget) {
   // Terminals occupy slots 0 (zero) and 1 (one) with a sentinel var so
   // that every internal node's var compares smaller.
   nodes_.push_back(Node{kTermVar, BddRef::invalid(), BddRef::invalid()});
@@ -33,6 +33,12 @@ BddRef BddManager::make_node(BoolVar var, BddRef low, BddRef high) {
   if (auto it = unique_.find(key); it != unique_.end()) {
     ++stats_.unique_hits;
     return it->second;
+  }
+  if (budget_.max_nodes != 0 && nodes_.size() >= budget_.max_nodes) {
+    obs::metrics().counter("bdd.budget_exceeded").add(1);
+    throw ResourceError(ErrCode::ResourceBddNodes,
+                        "BDD node budget of " + std::to_string(budget_.max_nodes) +
+                            " nodes exceeded");
   }
   ++stats_.unique_misses;
   BddRef ref{static_cast<std::uint32_t>(nodes_.size())};
@@ -76,6 +82,12 @@ BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
   BddRef lo = ite(cofactor(f, v, false), cofactor(g, v, false), cofactor(h, v, false));
   BddRef hi = ite(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
   BddRef result = make_node(v, lo, hi);
+  if (budget_.max_ite_cache != 0 && ite_cache_.size() >= budget_.max_ite_cache) {
+    obs::metrics().counter("bdd.budget_exceeded").add(1);
+    throw ResourceError(ErrCode::ResourceIteCache,
+                        "BDD ITE cache budget of " + std::to_string(budget_.max_ite_cache) +
+                            " entries exceeded");
+  }
   ite_cache_.emplace(key, result);
   return result;
 }

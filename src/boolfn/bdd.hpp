@@ -27,9 +27,19 @@ namespace opiso {
 struct BddTag;
 using BddRef = StrongId<BddTag>;
 
+/// Resource budget for a BddManager. Zero means unlimited. Exceeding a
+/// budget throws ResourceError (codes resource.bdd-nodes /
+/// resource.ite-cache); the manager stays consistent, so callers can
+/// catch and degrade to the structural expression path (the classic
+/// answer to BDD blow-up on activation-function derivation).
+struct BddBudget {
+  std::size_t max_nodes = 0;      ///< unique-table node cap (incl. terminals)
+  std::size_t max_ite_cache = 0;  ///< computed-cache entry cap
+};
+
 class BddManager {
  public:
-  BddManager();
+  explicit BddManager(BddBudget budget = {});
   /// Flushes the accumulated work counters into the global metrics
   /// registry (obs) — per-manager stats stay cheap plain members so the
   /// unique-table/ITE hot paths never touch shared state.
@@ -44,6 +54,7 @@ class BddManager {
     std::uint64_t ite_cache_hits = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const BddBudget& budget() const { return budget_; }
 
   [[nodiscard]] BddRef zero() const { return zero_; }
   [[nodiscard]] BddRef one() const { return one_; }
@@ -141,6 +152,7 @@ class BddManager {
   };
 
   Stats stats_;
+  BddBudget budget_;
   std::vector<Node> nodes_;
   std::unordered_map<Key, BddRef, KeyHash> unique_;
   std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;

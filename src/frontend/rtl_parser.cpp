@@ -33,13 +33,15 @@ class Lexer {
     advance();
     return t;
   }
-  [[noreturn]] void fail(const std::string& msg) const {
-    throw ParseError("rtl line " + std::to_string(lineno_) + ": " + msg);
+  [[noreturn]] void fail(const std::string& msg) const { fail(ErrCode::ParseSyntax, msg); }
+  [[noreturn]] void fail(ErrCode code, const std::string& msg) const {
+    throw ParseError(code, "rtl line " + std::to_string(lineno_) + ": " + msg, lineno_);
   }
   Token expect(Tok kind, const char* what) {
     if (current_.kind != kind) fail(std::string("expected ") + what);
     return take();
   }
+  [[nodiscard]] int lineno() const { return lineno_; }
 
  private:
   void advance() {
@@ -65,10 +67,22 @@ class Lexer {
       std::size_t start = pos_;
       while (pos_ < line_.size() && std::isalnum(static_cast<unsigned char>(line_[pos_]))) ++pos_;
       const std::string text(line_.substr(start, pos_ - start));
+      // stoull stops at the first bad character; demand it consumed the
+      // whole token so '0xfg' or '099' cannot silently mis-parse, and
+      // surface out-of-range values instead of wrapping.
       try {
-        current_ = Token{Tok::Number, text, std::stoull(text, nullptr, 0)};
+        std::size_t consumed = 0;
+        const std::uint64_t value = std::stoull(text, &consumed, 0);
+        if (consumed != text.size()) {
+          fail(ErrCode::ParseNumber, "bad number literal '" + text + "'");
+        }
+        current_ = Token{Tok::Number, text, value};
+      } catch (const ParseError&) {
+        throw;
+      } catch (const std::out_of_range&) {
+        fail(ErrCode::ParseNumber, "number literal '" + text + "' does not fit in 64 bits");
       } catch (const std::exception&) {
-        fail("bad number literal '" + text + "'");
+        fail(ErrCode::ParseNumber, "bad number literal '" + text + "'");
       }
       return;
     }
@@ -101,21 +115,63 @@ class Lexer {
   Token current_{Tok::End, "", 0};
 };
 
+// Widths are validated before they reach Netlist builders so the
+// diagnostic carries the input line, and so a declared width never
+// truncates through a narrowing cast (':4294967297' must not become ':1').
+unsigned checked_width(Lexer& lx, std::uint64_t w) {
+  if (w < 1 || w > 64) {
+    lx.fail(ErrCode::ParseWidth, "width " + std::to_string(w) + " out of range [1,64]");
+  }
+  return static_cast<unsigned>(w);
+}
+
+// Nested expressions recurse through parse_ternary/parse_unary/
+// parse_primary; bound the depth so '((((...' exhausts the budget with a
+// diagnostic instead of the stack.
+constexpr int kMaxExprDepth = 256;
+
 // ------------------------------------------------------------ elaborator
 struct Elaborator {
   Netlist nl;
   std::unordered_map<std::string, NetId> symbols;
   NetId const_true;
   int temp_counter = 0;
+  int expr_depth = 0;
+
+  struct DepthGuard {
+    Elaborator& el;
+    DepthGuard(Elaborator& e, Lexer& lx) : el(e) {
+      if (++el.expr_depth > kMaxExprDepth) {
+        --el.expr_depth;
+        lx.fail(ErrCode::ParseDepth,
+                "expression nesting exceeds " + std::to_string(kMaxExprDepth) + " levels");
+      }
+    }
+    ~DepthGuard() { --el.expr_depth; }
+  };
 
   NetId lookup(Lexer& lx, const std::string& name) {
     auto it = symbols.find(name);
-    if (it == symbols.end()) lx.fail("unknown signal '" + name + "'");
+    if (it == symbols.end()) {
+      lx.fail(ErrCode::ParseUnknownRef, "unknown signal '" + name + "'");
+    }
     return it->second;
   }
 
+  // Redefinitions are checked up front, before any expression is
+  // elaborated under the statement's name hint — otherwise the netlist
+  // rename trips first and the diagnostic loses its parse.duplicate
+  // code (and points at the builder, not the input).
+  void declare(Lexer& lx, const std::string& name) {
+    if (symbols.count(name) != 0) {
+      lx.fail(ErrCode::ParseDuplicate, "redefinition of '" + name + "'");
+    }
+  }
+
   void define(Lexer& lx, const std::string& name, NetId net) {
-    if (!symbols.emplace(name, net).second) lx.fail("redefinition of '" + name + "'");
+    if (!symbols.emplace(name, net).second) {
+      lx.fail(ErrCode::ParseDuplicate, "redefinition of '" + name + "'");
+    }
   }
 
   NetId ensure_true() {
@@ -130,6 +186,7 @@ struct Elaborator {
   NetId parse_expr(Lexer& lx, const std::string& hint = "") { return parse_ternary(lx, hint); }
 
   NetId parse_ternary(Lexer& lx, const std::string& hint) {
+    DepthGuard guard(*this, lx);
     NetId cond = parse_or(lx, "");
     if (lx.peek().kind != Tok::Question) {
       return maybe_name(lx, cond, hint);
@@ -194,6 +251,12 @@ struct Elaborator {
     while (lx.peek().kind == Tok::Shl || lx.peek().kind == Tok::Shr) {
       const CellKind kind = lx.take().kind == Tok::Shl ? CellKind::Shl : CellKind::Shr;
       const Token amount = lx.expect(Tok::Number, "constant shift amount");
+      // Nets are at most 64 bits wide, so any larger amount is a typo;
+      // rejecting it also rules out silent truncation mod 2^32.
+      if (amount.number > 64) {
+        lx.fail(ErrCode::ParseNumber,
+                "shift amount " + amount.text + " exceeds the 64-bit net limit");
+      }
       const bool last = lx.peek().kind != Tok::Shl && lx.peek().kind != Tok::Shr;
       lhs = nl.add_shift(kind, (last && !hint.empty()) ? hint : temp_name(), lhs,
                          static_cast<unsigned>(amount.number));
@@ -212,6 +275,7 @@ struct Elaborator {
   NetId parse_unary_entry(Lexer& lx) { return parse_unary(lx, ""); }
 
   NetId parse_unary(Lexer& lx, const std::string& hint) {
+    DepthGuard guard(*this, lx);
     if (lx.peek().kind == Tok::Not || lx.peek().kind == Tok::Bang) {
       lx.take();
       NetId inner = parse_unary(lx, "");
@@ -231,7 +295,7 @@ struct Elaborator {
         lx.take();
         const Token w = lx.expect(Tok::Number, "literal width");
         return nl.add_const(hint.empty() ? temp_name() : hint, t.number,
-                            static_cast<unsigned>(w.number));
+                            checked_width(lx, w.number));
       }
       case Tok::LParen: {
         NetId inner = parse_expr(lx, hint);
@@ -268,7 +332,7 @@ std::optional<unsigned> parse_width_suffix(Lexer& lx) {
   if (lx.peek().kind != Tok::Colon) return std::nullopt;
   lx.take();
   const Token w = lx.expect(Tok::Number, "width");
-  return static_cast<unsigned>(w.number);
+  return checked_width(lx, w.number);
 }
 
 }  // namespace
@@ -302,24 +366,33 @@ Netlist parse_rtl(const std::string& text) {
   };
   std::vector<SeqDecl> seq;
   for (const Statement& s : stmts) {
-    Lexer lx(s.text, s.lineno);
-    if (lx.peek().kind != Tok::Ident) lx.fail("expected a statement keyword");
-    const std::string head = lx.peek().text;
-    if (head == "design") {
-      lx.take();
-      el.nl.set_name(lx.expect(Tok::Ident, "design name").text);
-    } else if (head == "reg" || head == "latch") {
-      lx.take();
-      const Token name = lx.expect(Tok::Ident, "register name");
-      const auto width = parse_width_suffix(lx);
-      if (!width) lx.fail("'" + name.text + "': reg/latch needs an explicit width");
-      const NetId q = el.nl.add_net(name.text, *width);
-      const NetId en = el.ensure_true();
-      // D self-loops on Q until pass 2 elaborates the expression.
-      const CellId cell = el.nl.add_cell(head == "reg" ? CellKind::Reg : CellKind::Latch,
-                                         (head == "reg" ? "r:" : "l:") + name.text, {q, en}, q);
-      el.define(lx, name.text, q);
-      seq.push_back(SeqDecl{cell, s});
+    try {
+      Lexer lx(s.text, s.lineno);
+      if (lx.peek().kind != Tok::Ident) lx.fail("expected a statement keyword");
+      const std::string head = lx.peek().text;
+      if (head == "design") {
+        lx.take();
+        el.nl.set_name(lx.expect(Tok::Ident, "design name").text);
+      } else if (head == "reg" || head == "latch") {
+        lx.take();
+        const Token name = lx.expect(Tok::Ident, "register name");
+        const auto width = parse_width_suffix(lx);
+        if (!width) lx.fail("'" + name.text + "': reg/latch needs an explicit width");
+        const NetId q = el.nl.add_net(name.text, *width);
+        const NetId en = el.ensure_true();
+        // D self-loops on Q until pass 2 elaborates the expression.
+        const CellId cell = el.nl.add_cell(head == "reg" ? CellKind::Reg : CellKind::Latch,
+                                           (head == "reg" ? "r:" : "l:") + name.text, {q, en}, q);
+        el.define(lx, name.text, q);
+        seq.push_back(SeqDecl{cell, s});
+      }
+    } catch (const ParseError&) {
+      throw;
+    } catch (const Error& e) {
+      // Netlist builders reject e.g. a reg whose Q clashes with an
+      // earlier net; re-raise with the offending line attached.
+      throw ParseError(ErrCode::ParseDuplicate,
+                       "rtl line " + std::to_string(s.lineno) + ": " + e.what(), s.lineno);
     }
   }
 
@@ -334,10 +407,12 @@ Netlist parse_rtl(const std::string& text) {
     if (head == "design") continue;
     if (head == "input") {
       const Token name = lx.expect(Tok::Ident, "input name");
+      el.declare(lx, name.text);
       const unsigned width = parse_width_suffix(lx).value_or(1);
       el.define(lx, name.text, el.nl.add_input(name.text, width));
     } else if (head == "const") {
       const Token name = lx.expect(Tok::Ident, "const name");
+      el.declare(lx, name.text);
       const auto width = parse_width_suffix(lx);
       if (!width) lx.fail("const needs a width");
       lx.expect(Tok::Assign, "'='");
@@ -345,6 +420,7 @@ Netlist parse_rtl(const std::string& text) {
       el.define(lx, name.text, el.nl.add_const(name.text, value.number, *width));
     } else if (head == "wire") {
       const Token name = lx.expect(Tok::Ident, "wire name");
+      el.declare(lx, name.text);
       const auto width = parse_width_suffix(lx);
       lx.expect(Tok::Assign, "'='");
       const NetId net = el.parse_expr(lx, name.text);
@@ -381,7 +457,8 @@ Netlist parse_rtl(const std::string& text) {
     } catch (const ParseError&) {
       throw;
     } catch (const Error& e) {
-      throw ParseError("rtl line " + std::to_string(s.lineno) + ": " + e.what());
+      throw ParseError(ErrCode::ParseSyntax,
+                       "rtl line " + std::to_string(s.lineno) + ": " + e.what(), s.lineno);
     }
   }
 
@@ -391,7 +468,7 @@ Netlist parse_rtl(const std::string& text) {
 
 Netlist parse_rtl_file(const std::string& path) {
   std::ifstream is(path);
-  OPISO_REQUIRE(is.good(), "cannot open '" + path + "' for reading");
+  if (!is.good()) throw IoError("cannot open '" + path + "' for reading");
   std::ostringstream buf;
   buf << is.rdbuf();
   return parse_rtl(buf.str());

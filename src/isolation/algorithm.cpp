@@ -252,8 +252,15 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
               f = minimize_with_reachability(*control_space, nl, pool, vars, f);
             }
             if (opt.simplify_activation) {
-              BddManager mgr;
-              f = mgr.simplify_expr(pool, f);
+              // Graceful degradation: the factored form f is already
+              // logically equivalent to the canonical result, so on
+              // budget exhaustion we keep it rather than fail the run.
+              try {
+                BddManager mgr(BddBudget{opt.bdd_node_budget, 0});
+                f = mgr.simplify_expr(pool, f);
+              } catch (const ResourceError&) {
+                obs::metrics().counter("isolate.bdd_budget_fallbacks").add(1);
+              }
             }
             result.records.push_back(isolate_module(nl, pool, vars, best->cell, f, best->style));
             break;

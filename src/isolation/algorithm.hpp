@@ -39,6 +39,14 @@ struct IsolationOptions {
   /// Canonically simplify activation functions (BDD round trip) before
   /// synthesizing them — Sec. 3's "optimized version thereof".
   bool simplify_activation = true;
+  /// Unique-table node budget for that BDD round trip (0 = unlimited).
+  /// When an activation function blows past the budget, the canonical
+  /// simplification is skipped and the structurally derived expression
+  /// — logically equivalent by construction — is synthesized as-is
+  /// (counted in the `isolate.bdd_budget_fallbacks` metric). This keeps
+  /// pathological activation functions from OOM-ing a sweep; the default
+  /// is far above anything the paper's designs need.
+  std::size_t bdd_node_budget = 1u << 20;
   /// Minimize activation logic against FSM-reachability don't-cares
   /// (control-state valuations that can never occur) — the "analyzing
   /// the corresponding FSM" route Sec. 3 mentions. Costs one explicit

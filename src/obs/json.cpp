@@ -49,6 +49,10 @@ void write_number(std::ostream& os, double d) {
   os << buf;
 }
 
+// Recursive-descent nesting budget: '[[[[...' on untrusted input must
+// exhaust this limit (structured parse error) rather than the stack.
+constexpr int kMaxJsonDepth = 128;
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -61,10 +65,11 @@ class Parser {
   }
 
  private:
-  [[noreturn]] void fail(const std::string& why) const {
+  [[noreturn]] void fail(const std::string& why) const { fail(ErrCode::JsonSyntax, why); }
+  [[noreturn]] void fail(ErrCode code, const std::string& why) const {
     std::ostringstream os;
     os << "JSON parse error at offset " << pos_ << ": " << why;
-    throw ParseError(os.str());
+    throw ParseError(code, os.str());
   }
 
   void skip_ws() {
@@ -179,14 +184,22 @@ class Parser {
     try {
       std::size_t used = 0;
       const double d = std::stod(token, &used);
-      if (used != token.size()) fail("malformed number");
+      if (used != token.size()) fail(ErrCode::JsonNumber, "malformed number");
+      if (!std::isfinite(d)) {
+        // Huge exponents overflow to ±inf; a non-finite value would be
+        // unserializable (the writer would emit null), so reject it here.
+        fail(ErrCode::JsonNumber, "number '" + token + "' is out of double range");
+      }
       return JsonValue(d);
+    } catch (const ParseError&) {
+      throw;
     } catch (const std::logic_error&) {
-      fail("malformed number");
+      fail(ErrCode::JsonNumber, "malformed number");
     }
   }
 
   JsonValue parse_value() {
+    DepthGuard guard(*this);
     skip_ws();
     const char c = peek();
     if (c == '{') {
@@ -235,12 +248,31 @@ class Parser {
     if (consume_literal("true")) return JsonValue(true);
     if (consume_literal("false")) return JsonValue(false);
     if (consume_literal("null")) return JsonValue();
+    // JSON has no NaN/Infinity literals; name them explicitly so the
+    // diagnostic says what was wrong instead of "unexpected character".
+    if (consume_literal("NaN") || consume_literal("nan") || consume_literal("Infinity") ||
+        consume_literal("-Infinity") || consume_literal("-inf") || consume_literal("inf")) {
+      fail(ErrCode::JsonNumber, "NaN/Infinity literals are not valid JSON");
+    }
     if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return parse_number();
     fail("unexpected character");
   }
 
+  struct DepthGuard {
+    Parser& p;
+    explicit DepthGuard(Parser& parser) : p(parser) {
+      if (++p.depth_ > kMaxJsonDepth) {
+        --p.depth_;
+        p.fail(ErrCode::JsonDepth,
+               "nesting exceeds " + std::to_string(kMaxJsonDepth) + " levels");
+      }
+    }
+    ~DepthGuard() { --p.depth_; }
+  };
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

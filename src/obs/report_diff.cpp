@@ -46,16 +46,28 @@ bool segment_matches(const std::string& pattern, const std::string& segment) {
   return p == pattern.size();
 }
 
+/// `**` matches zero or more whole segments anywhere in the pattern
+/// (not just at the tail): `totals.**.toggles` covers both
+/// `totals.toggles` and `totals.a.b.toggles`. Patterns and paths are
+/// short, so plain backtracking recursion is fine. Empty segments (from
+/// consecutive dots) participate like any other literal segment.
+bool path_matches_at(const std::vector<std::string>& pattern, std::size_t p,
+                     const std::vector<std::string>& path, std::size_t s) {
+  if (p == pattern.size()) return s == path.size();
+  if (pattern[p] == "**") {
+    for (std::size_t skip = s; skip <= path.size(); ++skip) {
+      if (path_matches_at(pattern, p + 1, path, skip)) return true;
+    }
+    return false;
+  }
+  if (s == path.size()) return false;
+  if (!segment_matches(pattern[p], path[s])) return false;
+  return path_matches_at(pattern, p + 1, path, s + 1);
+}
+
 bool path_matches(const std::vector<std::string>& pattern,
                   const std::vector<std::string>& path) {
-  std::size_t n = pattern.size();
-  const bool tail_glob = n > 0 && pattern[n - 1] == "**";
-  if (tail_glob) --n;
-  if (tail_glob ? path.size() < n : path.size() != n) return false;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!segment_matches(pattern[i], path[i])) return false;
-  }
-  return true;
+  return path_matches_at(pattern, 0, path, 0);
 }
 
 std::string join_path(const std::vector<std::string>& path) {

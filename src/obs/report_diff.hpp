@@ -31,8 +31,10 @@
 //              {"path": "metrics.**", "ignore": true}]}
 // Paths are dotted; segments match literally, `*` matches exactly one
 // segment (array indices are segments), a glob `*`/prefix inside a
-// segment matches within it, and a trailing `**` matches any suffix.
-// First matching rule wins; no match means exact comparison.
+// segment matches within it, and `**` — anywhere in the pattern —
+// matches zero or more whole segments (`a.**.z` covers `a.z`,
+// `a.b.z`, `a.b.c.z`). First matching rule wins; no match means exact
+// comparison.
 
 #include <iosfwd>
 #include <string>

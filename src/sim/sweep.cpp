@@ -1,5 +1,7 @@
 #include "sim/sweep.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <mutex>
 #include <numeric>
@@ -19,22 +21,85 @@ std::unique_ptr<Stimulus> make_task_stimulus(const SweepTask& task, std::uint64_
   return std::make_unique<UniformStimulus>(lane_seed);
 }
 
-}  // namespace
+// Cycles simulated between wall-clock checks: small enough that a
+// runaway task stops promptly, large enough that the clock reads stay
+// off the hot path.
+constexpr std::uint64_t kBudgetChunkCycles = 1024;
 
-SweepResult run_sweep_task(const SweepTask& task) {
+// Enforces the wall-clock budget between simulation chunks and keeps
+// `elapsed_lane_cycles` (the deterministic progress measure recorded in
+// failure reports) up to date as chunks complete.
+class TaskGuard {
+ public:
+  TaskGuard(const SweepTask& task, const SweepBudget& budget, std::uint64_t* elapsed)
+      : task_(task), budget_(budget), elapsed_(elapsed),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void advance(std::uint64_t lane_cycles) {
+    if (elapsed_ != nullptr) *elapsed_ += lane_cycles;
+    check_clock();
+  }
+
+  void check_clock() const {
+    if (budget_.task_wall_clock_sec <= 0.0) return;
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    if (sec > budget_.task_wall_clock_sec) {
+      throw ResourceError(ErrCode::ResourceWallClock,
+                          "sweep task '" + task_.design + "': wall-clock budget of " +
+                              std::to_string(budget_.task_wall_clock_sec) + "s exceeded");
+    }
+  }
+
+  /// Chunked only when a clock budget is armed; otherwise one full run
+  /// (the historical single-call path, with zero extra clock reads).
+  [[nodiscard]] std::uint64_t chunk(std::uint64_t remaining) const {
+    if (budget_.task_wall_clock_sec <= 0.0) return remaining;
+    return std::min(remaining, kBudgetChunkCycles);
+  }
+
+ private:
+  const SweepTask& task_;
+  const SweepBudget& budget_;
+  std::uint64_t* elapsed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+SweepResult run_sweep_task_impl(const SweepTask& task, const SweepBudget& budget,
+                                std::uint64_t* elapsed_lane_cycles) {
   OPISO_SPAN("sweep.task");
   OPISO_REQUIRE(task.make_design != nullptr, "sweep task '" + task.design + "': no design");
   OPISO_REQUIRE(task.lanes >= 1 && task.lanes <= ParallelSimulator::kMaxLanes,
                 "sweep task '" + task.design + "': lanes must be in [1,64]");
+  // The stimulus volume is known before anything runs, so this check is
+  // deterministic — the same task fails the same way on every schedule.
+  if (budget.task_max_lane_cycles != 0 &&
+      task.cycles > budget.task_max_lane_cycles / task.lanes) {
+    throw ResourceError(ErrCode::ResourceStimulus,
+                        "sweep task '" + task.design + "': " + std::to_string(task.cycles) +
+                            " cycles x " + std::to_string(task.lanes) +
+                            " lanes exceeds the stimulus budget of " +
+                            std::to_string(budget.task_max_lane_cycles) + " lane-cycles");
+  }
+  TaskGuard guard(task, budget, elapsed_lane_cycles);
   const Netlist nl = task.make_design();
+  guard.check_clock();
   ActivityStats stats;
   if (task.engine == SimEngineKind::Parallel) {
     ParallelSimulator sim(nl, task.lanes);
     sim.set_stimulus([&](unsigned lane) {
       return make_task_stimulus(task, sweep_lane_seed(task.seed, lane));
     });
-    if (task.warmup > 0) sim.warmup(task.warmup);
-    sim.run(task.cycles);
+    if (task.warmup > 0) {
+      sim.warmup(task.warmup);
+      guard.check_clock();
+    }
+    for (std::uint64_t done = 0; done < task.cycles;) {
+      const std::uint64_t step = guard.chunk(task.cycles - done);
+      sim.run(step);
+      done += step;
+      guard.advance(step * task.lanes);
+    }
     stats = sim.stats();
   } else {
     // Scalar oracle: one simulator per lane over the same streams,
@@ -43,8 +108,16 @@ SweepResult run_sweep_task(const SweepTask& task) {
     for (unsigned lane = 0; lane < task.lanes; ++lane) {
       Simulator sim(nl);
       std::unique_ptr<Stimulus> stim = make_task_stimulus(task, sweep_lane_seed(task.seed, lane));
-      if (task.warmup > 0) sim.warmup(*stim, task.warmup);
-      sim.run(*stim, task.cycles);
+      if (task.warmup > 0) {
+        sim.warmup(*stim, task.warmup);
+        guard.check_clock();
+      }
+      for (std::uint64_t done = 0; done < task.cycles;) {
+        const std::uint64_t step = guard.chunk(task.cycles - done);
+        sim.run(*stim, step);
+        done += step;
+        guard.advance(step);
+      }
       stats.merge(sim.stats());
     }
   }
@@ -58,6 +131,23 @@ SweepResult run_sweep_task(const SweepTask& task) {
   r.toggles = std::accumulate(stats.toggles.begin(), stats.toggles.end(), std::uint64_t{0});
   r.power_mw = PowerEstimator().estimate(nl, stats).total_mw;
   return r;
+}
+
+}  // namespace
+
+SweepResult run_sweep_task(const SweepTask& task) {
+  return run_sweep_task_impl(task, SweepBudget{}, nullptr);
+}
+
+SweepResult run_sweep_task(const SweepTask& task, const SweepBudget& budget) {
+  return run_sweep_task_impl(task, budget, nullptr);
+}
+
+bool SweepOutcome::failed(std::size_t task_index) const {
+  for (const SweepTaskFailure& f : failures) {
+    if (f.task_index == task_index) return true;
+  }
+  return false;
 }
 
 struct SweepRunner::Impl {
@@ -111,13 +201,108 @@ std::vector<SweepResult> SweepRunner::run(const std::vector<SweepTask>& tasks,
   return results;
 }
 
+SweepOutcome SweepRunner::run_isolated(const std::vector<SweepTask>& tasks,
+                                       const SweepRunOptions& options,
+                                       const SweepProgressFn& progress) {
+  OPISO_SPAN("sweep.run_isolated");
+  const auto wall_start = std::chrono::steady_clock::now();
+  SweepOutcome out;
+  out.results.resize(tasks.size());
+  std::mutex mu;  // failures list + progress counter
+  std::size_t completed = 0;
+  std::atomic<bool> abort{false};
+  impl_->pool.parallel_for(tasks.size(), [&](std::size_t i) {
+    std::uint64_t elapsed = 0;
+    SweepTaskFailure failure;
+    bool failed = false;
+    if (options.fail_fast && abort.load(std::memory_order_acquire)) {
+      failed = true;
+      failure.code = error_code_name(ErrCode::TaskSkipped);
+      failure.message = "skipped after an earlier failure (--fail-fast)";
+    } else {
+      try {
+        out.results[i] = run_sweep_task_impl(tasks[i], options.budget, &elapsed);
+      } catch (const OpisoError& e) {
+        failed = true;
+        failure.code = e.code_name();
+        failure.message = e.what();
+      } catch (const std::exception& e) {
+        failed = true;
+        failure.code = error_code_name(ErrCode::Internal);
+        failure.message = e.what();
+      } catch (...) {
+        failed = true;
+        failure.code = error_code_name(ErrCode::Internal);
+        failure.message = "unknown exception";
+      }
+    }
+    if (failed) {
+      // The slot keeps its identity so the report's failure entry and
+      // the (zeroed) result line up; it is excluded from tasks/totals.
+      failure.task_index = i;
+      failure.design = tasks[i].design;
+      failure.seed = tasks[i].seed;
+      failure.elapsed_lane_cycles = elapsed;
+      out.results[i].design = tasks[i].design;
+      out.results[i].seed = tasks[i].seed;
+      if (options.fail_fast) abort.store(true, std::memory_order_release);
+      obs::metrics().counter("sweep.task_failures").add(1);
+      std::lock_guard<std::mutex> lock(mu);
+      out.failures.push_back(std::move(failure));
+    }
+    if (!progress) return;
+    std::lock_guard<std::mutex> lock(mu);
+    SweepProgress p;
+    p.completed = ++completed;
+    p.total = tasks.size();
+    p.task_index = i;
+    p.elapsed_sec = std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+                        .count();
+    p.eta_sec = p.elapsed_sec / static_cast<double>(p.completed) *
+                static_cast<double>(p.total - p.completed);
+    progress(p);
+  });
+
+  // Completion order is scheduling-dependent; the report is not.
+  std::sort(out.failures.begin(), out.failures.end(),
+            [](const SweepTaskFailure& a, const SweepTaskFailure& b) {
+              return a.task_index < b.task_index;
+            });
+
+  const std::uint64_t run_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           wall_start)
+          .count());
+  std::uint64_t lane_cycles = 0;
+  for (const SweepResult& r : out.results) lane_cycles += r.lane_cycles;
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("sweep.runs").add(1);
+  m.counter("sweep.tasks").add(tasks.size());
+  m.counter("sweep.lane_cycles").add(lane_cycles);
+  m.counter("sweep.run_ns").add(run_ns);
+  if (run_ns > 0) {
+    m.gauge("sweep.lane_cycles_per_sec")
+        .set(static_cast<double>(lane_cycles) * 1e9 / static_cast<double>(run_ns));
+  }
+  return out;
+}
+
 obs::JsonValue build_sweep_report(const std::vector<SweepResult>& results) {
+  SweepOutcome outcome;
+  outcome.results = results;
+  return build_sweep_report(outcome);
+}
+
+obs::JsonValue build_sweep_report(const SweepOutcome& outcome) {
   obs::JsonValue doc = obs::JsonValue::object();
   doc["schema"] = "opiso.sweep/v1";
   obs::JsonValue tasks = obs::JsonValue::array();
   std::uint64_t lane_cycles = 0;
   std::uint64_t toggles = 0;
-  for (const SweepResult& r : results) {
+  std::size_t succeeded = 0;
+  for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+    if (outcome.failed(i)) continue;  // recorded under task_failures
+    const SweepResult& r = outcome.results[i];
     obs::JsonValue t = obs::JsonValue::object();
     t["design"] = r.design;
     t["seed"] = r.seed;
@@ -130,13 +315,34 @@ obs::JsonValue build_sweep_report(const std::vector<SweepResult>& results) {
     tasks.push_back(std::move(t));
     lane_cycles += r.lane_cycles;
     toggles += r.toggles;
+    ++succeeded;
   }
   doc["tasks"] = std::move(tasks);
   obs::JsonValue totals = obs::JsonValue::object();
-  totals["tasks"] = static_cast<std::uint64_t>(results.size());
+  totals["tasks"] = static_cast<std::uint64_t>(succeeded);
+  totals["failed_tasks"] = static_cast<std::uint64_t>(outcome.failures.size());
   totals["lane_cycles"] = lane_cycles;
   totals["toggles"] = toggles;
   doc["totals"] = std::move(totals);
+  // Always present (empty on a clean run) so consumers can key on the
+  // section without probing, and clean/failed reports share a shape.
+  obs::JsonValue failures = obs::JsonValue::object();
+  failures["schema"] = "opiso.task_failures/v1";
+  obs::JsonValue entries = obs::JsonValue::array();
+  for (const SweepTaskFailure& f : outcome.failures) {
+    obs::JsonValue e = obs::JsonValue::object();
+    e["task_index"] = static_cast<std::uint64_t>(f.task_index);
+    e["design"] = f.design;
+    e["seed"] = f.seed;
+    e["code"] = f.code;
+    e["message"] = f.message;
+    // Lane-cycles, not wall time: elapsed progress that diffs bitwise
+    // identical across --threads values.
+    e["elapsed_lane_cycles"] = f.elapsed_lane_cycles;
+    entries.push_back(std::move(e));
+  }
+  failures["failures"] = std::move(entries);
+  doc["task_failures"] = std::move(failures);
   return doc;
 }
 

@@ -52,8 +52,54 @@ struct SweepResult {
   double power_mw = 0.0;          ///< macro-model power at the measured activity
 };
 
+/// Per-task resource budget. Zero fields are unlimited. The stimulus
+/// budget is checked up front (cycles × lanes is known before the task
+/// runs, so the check is deterministic); the wall-clock budget is
+/// enforced between simulation chunks, so a runaway task stops within
+/// one chunk of the limit instead of holding a worker forever.
+struct SweepBudget {
+  double task_wall_clock_sec = 0.0;        ///< per-task wall-clock limit
+  std::uint64_t task_max_lane_cycles = 0;  ///< per-task cycles × lanes limit
+};
+
 /// Execute one task synchronously (also the per-worker body).
 [[nodiscard]] SweepResult run_sweep_task(const SweepTask& task);
+/// Budget-enforcing variant: throws ResourceError (resource.stimulus /
+/// resource.wall-clock) when a limit is exceeded.
+[[nodiscard]] SweepResult run_sweep_task(const SweepTask& task, const SweepBudget& budget);
+
+/// Record of one task that threw or blew its budget during a
+/// fault-isolated sweep. `elapsed_lane_cycles` counts the simulated
+/// lane-cycles completed before the failure — a deterministic elapsed
+/// measure, unlike wall time, so reports with failures still diff
+/// bitwise identical across --threads values.
+struct SweepTaskFailure {
+  std::size_t task_index = 0;
+  std::string design;
+  std::uint64_t seed = 0;
+  std::string code;     ///< stable OpisoError code name ("resource.wall-clock", ...)
+  std::string message;  ///< diagnostic text (what())
+  std::uint64_t elapsed_lane_cycles = 0;
+};
+
+struct SweepRunOptions {
+  /// Stop launching new tasks after the first failure; tasks that never
+  /// started are recorded with code "task.skipped". The skip set depends
+  /// on scheduling, so fail-fast trades report reproducibility for
+  /// latency — leave it off when diffing reports across --threads.
+  bool fail_fast = false;
+  SweepBudget budget;
+};
+
+/// Result of a fault-isolated sweep: per-task results in task order
+/// (failed slots carry only design/seed), plus the failure records
+/// sorted by task index.
+struct SweepOutcome {
+  std::vector<SweepResult> results;
+  std::vector<SweepTaskFailure> failures;
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  [[nodiscard]] bool failed(std::size_t task_index) const;
+};
 
 /// Snapshot passed to the progress callback after each task completes.
 /// `task_index` is the finished task; completion order is scheduling-
@@ -80,6 +126,15 @@ class SweepRunner {
   [[nodiscard]] std::vector<SweepResult> run(const std::vector<SweepTask>& tasks,
                                              const SweepProgressFn& progress = nullptr);
 
+  /// Fault-isolated variant: a throwing or over-budget task becomes a
+  /// SweepTaskFailure record while every other task still completes
+  /// (nothing propagates out of the pool). This is the production entry
+  /// point for untrusted/batch sweeps; `run` keeps the fail-loud
+  /// semantics for programmatic callers.
+  [[nodiscard]] SweepOutcome run_isolated(const std::vector<SweepTask>& tasks,
+                                          const SweepRunOptions& options = {},
+                                          const SweepProgressFn& progress = nullptr);
+
   [[nodiscard]] unsigned threads() const;
 
  private:
@@ -90,7 +145,13 @@ class SweepRunner {
 /// Deterministic JSON report (schema opiso.sweep/v1). Contains no
 /// wall-clock or thread-count fields so reports from different
 /// --threads runs diff clean; throughput lives in the metrics registry
-/// ("sweep.*", "sim.parallel.*", "pool.*") instead.
+/// ("sweep.*", "sim.parallel.*", "pool.*") instead. The report always
+/// carries a `task_failures` section (schema opiso.task_failures/v1;
+/// empty array on a clean run), so its presence never depends on
+/// whether anything failed.
 [[nodiscard]] obs::JsonValue build_sweep_report(const std::vector<SweepResult>& results);
+/// Fault-isolated form: failed task slots are omitted from `tasks` and
+/// recorded under `task_failures` instead; totals cover successes only.
+[[nodiscard]] obs::JsonValue build_sweep_report(const SweepOutcome& outcome);
 
 }  // namespace opiso

@@ -1,60 +1,8 @@
 #pragma once
-// Error handling foundation for the opiso library.
-//
-// All library errors derive from opiso::Error (itself a std::runtime_error)
-// so callers can catch library failures distinctly from standard-library
-// failures. OPISO_REQUIRE is used to validate preconditions at API
-// boundaries; internal invariants use OPISO_ASSERT which compiles to a
-// check in all build types (netlist corruption must never propagate
-// silently into power numbers).
+// Forwarding header: the error taxonomy moved to util/error.hpp when it
+// grew stable error codes, severities, and a JSON rendering (PR 4). All
+// legacy class names (Error, NetlistError, ParseError, SimError) and the
+// OPISO_REQUIRE / OPISO_ASSERT macros are defined there; existing
+// includes of "support/error.hpp" keep working unchanged.
 
-#include <sstream>
-#include <stdexcept>
-#include <string>
-
-namespace opiso {
-
-/// Base class of every exception thrown by the opiso library.
-class Error : public std::runtime_error {
- public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
-};
-
-/// Thrown when a netlist violates structural invariants (bad widths,
-/// multiple drivers, combinational cycles, dangling references).
-class NetlistError : public Error {
- public:
-  explicit NetlistError(const std::string& what) : Error(what) {}
-};
-
-/// Thrown on malformed textual input (.rtn netlists, stimulus files).
-class ParseError : public Error {
- public:
-  explicit ParseError(const std::string& what) : Error(what) {}
-};
-
-/// Thrown when a simulation is driven inconsistently (missing stimulus,
-/// probing unknown nets, zero simulated cycles).
-class SimError : public Error {
- public:
-  explicit SimError(const std::string& what) : Error(what) {}
-};
-
-namespace detail {
-[[noreturn]] inline void throw_require_failure(const char* cond, const char* file, int line,
-                                               const std::string& msg) {
-  std::ostringstream os;
-  os << "requirement failed: " << cond << " at " << file << ':' << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
-}
-}  // namespace detail
-
-}  // namespace opiso
-
-#define OPISO_REQUIRE(cond, msg)                                                      \
-  do {                                                                                \
-    if (!(cond)) ::opiso::detail::throw_require_failure(#cond, __FILE__, __LINE__, (msg)); \
-  } while (0)
-
-#define OPISO_ASSERT(cond, msg) OPISO_REQUIRE(cond, msg)
+#include "util/error.hpp"

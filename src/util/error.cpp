@@ -1,0 +1,100 @@
+#include "util/error.hpp"
+
+namespace opiso {
+
+const char* error_code_name(ErrCode code) noexcept {
+  switch (code) {
+    case ErrCode::Internal: return "internal";
+    case ErrCode::Io: return "io";
+    case ErrCode::Usage: return "usage";
+    case ErrCode::ParseSyntax: return "parse.syntax";
+    case ErrCode::ParseNumber: return "parse.number";
+    case ErrCode::ParseWidth: return "parse.width";
+    case ErrCode::ParseDuplicate: return "parse.duplicate";
+    case ErrCode::ParseUnknownRef: return "parse.unknown-ref";
+    case ErrCode::ParseDepth: return "parse.depth";
+    case ErrCode::JsonSyntax: return "json.syntax";
+    case ErrCode::JsonNumber: return "json.number";
+    case ErrCode::JsonDepth: return "json.depth";
+    case ErrCode::NetlistInvariant: return "netlist.invariant";
+    case ErrCode::SimMisuse: return "sim.misuse";
+    case ErrCode::ResourceBddNodes: return "resource.bdd-nodes";
+    case ErrCode::ResourceIteCache: return "resource.ite-cache";
+    case ErrCode::ResourceWallClock: return "resource.wall-clock";
+    case ErrCode::ResourceStimulus: return "resource.stimulus";
+    case ErrCode::TaskFailed: return "task.failed";
+    case ErrCode::TaskSkipped: return "task.skipped";
+  }
+  return "unknown";
+}
+
+const char* severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    case Severity::Fatal: return "fatal";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Minimal JSON string escaping; the error layer sits below obs so it
+// cannot use the JsonValue writer.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static const char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(ch) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(ch) & 0xF];
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string OpisoError::json() const {
+  std::string out = "{\"error\":{\"code\":";
+  append_json_string(out, code_name());
+  out += ",\"severity\":";
+  append_json_string(out, severity_name(severity_));
+  out += ",\"message\":";
+  append_json_string(out, what());
+  if (input_line_ > 0) {
+    out += ",\"input_line\":";
+    out += std::to_string(input_line_);
+  }
+  if (loc_.file != nullptr) {
+    out += ",\"source\":";
+    append_json_string(out, std::string(loc_.file) + ":" + std::to_string(loc_.line));
+  }
+  out += "}}";
+  return out;
+}
+
+namespace detail {
+void throw_require_failure(const char* cond, const char* file, int line,
+                           const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(ErrCode::Internal, os.str(), Severity::Error, SourceLoc{file, line}, 0);
+}
+}  // namespace detail
+
+}  // namespace opiso

@@ -1,0 +1,170 @@
+#pragma once
+// Structured error taxonomy for the opiso library.
+//
+// Every failure the library raises is an OpisoError: a stable
+// machine-readable error code, a severity, the source location of the
+// throw site, an optional input line (for parser diagnostics), and a
+// one-line JSON rendering so drivers — the CLI, the sweep runner's
+// fault-isolation layer, CI scripts — can record failures structurally
+// instead of scraping what() strings.
+//
+// The legacy class names (Error, ParseError, NetlistError, SimError)
+// remain as thin subclasses so existing throw/catch sites keep their
+// meaning; new code should throw the most specific class with an
+// explicit ErrCode. ResourceError is the budget-violation family: BDD
+// node/ITE-cache budgets, per-task wall-clock and stimulus budgets.
+// Resource errors are recoverable by design — callers degrade to a
+// cheaper path (e.g. keep the factored activation expression when the
+// canonical BDD form blows its node budget) or record the task as
+// failed and continue the sweep.
+//
+// OPISO_REQUIRE validates preconditions at API boundaries; internal
+// invariants use OPISO_ASSERT which compiles to a check in all build
+// types (netlist corruption must never propagate silently into power
+// numbers).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace opiso {
+
+/// Stable error codes. The wire names (error_code_name) are part of the
+/// report/diagnostic schema: existing names never change, new codes are
+/// only appended.
+enum class ErrCode : std::uint16_t {
+  Internal = 0,       ///< violated invariant / requirement (a bug, not bad input)
+  Io,                 ///< file open/read/write failure
+  Usage,              ///< malformed API or CLI usage
+  ParseSyntax,        ///< malformed textual input (.rtl/.rtn/stimulus)
+  ParseNumber,        ///< unparseable or out-of-range number literal
+  ParseWidth,         ///< declared/inferred width outside [1,64]
+  ParseDuplicate,     ///< redefinition of a named signal
+  ParseUnknownRef,    ///< reference to an undefined signal (dangling fanin)
+  ParseDepth,         ///< expression nesting beyond the recursion budget
+  JsonSyntax,         ///< malformed JSON document
+  JsonNumber,         ///< NaN/Infinity or malformed JSON number
+  JsonDepth,          ///< JSON nesting beyond the recursion budget
+  NetlistInvariant,   ///< structural invariant violated (validate())
+  SimMisuse,          ///< simulation driven inconsistently
+  ResourceBddNodes,   ///< BDD unique-table node budget exceeded
+  ResourceIteCache,   ///< BDD ITE computed-cache budget exceeded
+  ResourceWallClock,  ///< per-task wall-clock budget exceeded
+  ResourceStimulus,   ///< per-task stimulus (lane-cycle) budget exceeded
+  TaskFailed,         ///< a sweep task failed (wraps the root cause)
+  TaskSkipped,        ///< a sweep task was skipped (fail-fast after a failure)
+};
+
+enum class Severity : std::uint8_t {
+  Warning,  ///< recoverable; the operation degraded but completed
+  Error,    ///< the operation failed; the process can continue
+  Fatal,    ///< the process cannot meaningfully continue
+};
+
+/// Stable wire name of a code ("parse.width", "resource.bdd-nodes", ...).
+[[nodiscard]] const char* error_code_name(ErrCode code) noexcept;
+[[nodiscard]] const char* severity_name(Severity severity) noexcept;
+
+/// Source location of the throw site (code, not input).
+struct SourceLoc {
+  const char* file = nullptr;
+  int line = 0;
+};
+
+/// Base class of every exception thrown by the opiso library.
+class OpisoError : public std::runtime_error {
+ public:
+  explicit OpisoError(ErrCode code, const std::string& message,
+                      Severity severity = Severity::Error, SourceLoc loc = {},
+                      int input_line = 0)
+      : std::runtime_error(message),
+        code_(code),
+        severity_(severity),
+        loc_(loc),
+        input_line_(input_line) {}
+
+  [[nodiscard]] ErrCode code() const noexcept { return code_; }
+  [[nodiscard]] const char* code_name() const noexcept { return error_code_name(code_); }
+  [[nodiscard]] Severity severity() const noexcept { return severity_; }
+  [[nodiscard]] const SourceLoc& where() const noexcept { return loc_; }
+  /// 1-based line of the offending *input* (0 = not input-related).
+  [[nodiscard]] int input_line() const noexcept { return input_line_; }
+
+  /// One-line JSON object: {"error":{"code":...,"severity":...,
+  /// "message":...[,"input_line":N][,"source":"file:line"]}}. Rendered
+  /// by hand so the error layer stays dependency-free.
+  [[nodiscard]] std::string json() const;
+
+ private:
+  ErrCode code_;
+  Severity severity_;
+  SourceLoc loc_;
+  int input_line_;
+};
+
+/// Legacy generic error; also the base of the specific families below so
+/// `catch (const Error&)` keeps catching every library failure.
+class Error : public OpisoError {
+ public:
+  explicit Error(const std::string& what, ErrCode code = ErrCode::Internal)
+      : OpisoError(code, what) {}
+  Error(ErrCode code, const std::string& message) : OpisoError(code, message) {}
+  Error(ErrCode code, const std::string& message, Severity severity, SourceLoc loc,
+        int input_line)
+      : OpisoError(code, message, severity, loc, input_line) {}
+};
+
+/// Thrown when a netlist violates structural invariants (bad widths,
+/// multiple drivers, combinational cycles, dangling references).
+class NetlistError : public Error {
+ public:
+  explicit NetlistError(const std::string& what)
+      : Error(ErrCode::NetlistInvariant, what) {}
+  NetlistError(ErrCode code, const std::string& what) : Error(code, what) {}
+};
+
+/// Thrown on malformed textual input (.rtl/.rtn netlists, stimulus
+/// files, JSON documents). `input_line` is 1-based when known.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(ErrCode::ParseSyntax, what) {}
+  ParseError(ErrCode code, const std::string& what, int input_line = 0)
+      : Error(code, what, Severity::Error, SourceLoc{}, input_line) {}
+};
+
+/// Thrown when a simulation is driven inconsistently (missing stimulus,
+/// probing unknown nets, zero simulated cycles).
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error(ErrCode::SimMisuse, what) {}
+};
+
+/// Thrown when a bounded computation exceeds its resource budget. Always
+/// recoverable: severity defaults to Warning because the standard
+/// reaction is to degrade (fall back to a cheaper representation, record
+/// the task failure) rather than abort.
+class ResourceError : public Error {
+ public:
+  ResourceError(ErrCode code, const std::string& what)
+      : Error(code, what, Severity::Warning, SourceLoc{}, 0) {}
+};
+
+/// Thrown on file-system failures (open/read/write).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(ErrCode::Io, what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_require_failure(const char* cond, const char* file, int line,
+                                        const std::string& msg);
+}  // namespace detail
+
+}  // namespace opiso
+
+#define OPISO_REQUIRE(cond, msg)                                                      \
+  do {                                                                                \
+    if (!(cond)) ::opiso::detail::throw_require_failure(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define OPISO_ASSERT(cond, msg) OPISO_REQUIRE(cond, msg)

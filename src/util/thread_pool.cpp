@@ -35,6 +35,7 @@ void ThreadPool::worker_loop() {
       work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
       if (stop_) return;
       seen_generation = generation_;
+      ++active_;
     }
     const auto t0 = std::chrono::steady_clock::now();
     std::size_t executed = 0;
@@ -45,6 +46,7 @@ void ThreadPool::worker_loop() {
         (*fn_)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);
+        ++task_failures_;
         if (!error_ || i < error_index_) {
           error_ = std::current_exception();
           error_index_ = i;
@@ -63,9 +65,11 @@ void ThreadPool::worker_loop() {
       // snapshot covers every worker that did work this generation.
       if (executed > 0) generation_busy_ns_.push_back(worker_ns);
       done_ += executed;
-      // All indices handed out and the last executor reports in: the
-      // count of executed tasks reaching n_ is the completion signal.
-      if (done_ >= n_) done_cv_.notify_all();
+      --active_;
+      // Completion needs every task executed AND every participating
+      // worker out of the task loop — a still-active worker may yet
+      // touch fn_/n_/next_, which the next generation overwrites.
+      if (done_ >= n_ && active_ == 0) done_cv_.notify_all();
     }
     (void)executed;
   }
@@ -85,6 +89,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     done_ = 0;
     error_ = nullptr;
     error_index_ = 0;
+    task_failures_ = 0;
     generation_busy_ns_.clear();
     if (n > queue_depth_max_) queue_depth_max_ = n;
     ++generation_;
@@ -93,13 +98,16 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   std::exception_ptr error;
   std::vector<std::uint64_t> worker_busy;
   std::size_t queue_depth_max = 0;
+  std::uint64_t task_failures = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return done_ >= n_; });
+    done_cv_.wait(lock, [&] { return done_ >= n_ && active_ == 0; });
     fn_ = nullptr;
     error = error_;
     worker_busy = generation_busy_ns_;
     queue_depth_max = queue_depth_max_;
+    task_failures = task_failures_;
+    task_failures_ = 0;
   }
 
   const std::uint64_t wall_ns = static_cast<std::uint64_t>(
@@ -112,6 +120,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   m.counter("pool.busy_ns").add(busy_ns_.load(std::memory_order_relaxed));
   m.gauge("pool.workers").set(static_cast<double>(size()));
   m.gauge("pool.queue_depth_max").set(static_cast<double>(queue_depth_max));
+  if (task_failures > 0) m.counter("pool.task_failures").add(task_failures);
   // One sample per worker that ran tasks: the histogram's min/max
   // spread is the load-imbalance signal for this pool.
   for (const std::uint64_t ns : worker_busy) {

@@ -63,12 +63,20 @@ class ThreadPool {
   std::size_t n_ = 0;
   std::atomic<std::size_t> next_{0};
   std::size_t done_ = 0;
+  /// Workers currently inside the current generation's task loop. The
+  /// caller waits for this to drain back to 0, not just for done_ == n_:
+  /// a slow worker may otherwise still be reading fn_/n_ (or claiming a
+  /// next_ index) while the next parallel_for rewrites them.
+  std::size_t active_ = 0;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
 
-  // First-by-index exception capture.
+  // First-by-index exception capture. task_failures_ counts every
+  // throwing task of the current generation (flushed to the
+  // "pool.task_failures" counter by parallel_for).
   std::exception_ptr error_;
   std::size_t error_index_ = 0;
+  std::uint64_t task_failures_ = 0;
 
   std::atomic<std::uint64_t> busy_ns_{0};
   /// Busy time of each worker that executed >= 1 task this generation;

@@ -1,0 +1,26 @@
+// libFuzzer entry point for the RTL parser (optional target, gated by
+// -DOPISO_BUILD_FUZZERS=ON with Clang). Contract under fuzzing: every
+// input either parses or raises OpisoError — any other exception,
+// signal, leak, or sanitizer report is a finding. Seed the run with the
+// checked-in corpus:
+//
+//   ./fuzz_rtl_parser ../tests/corpus/rtl
+//
+// The in-tree deterministic mutation harness (test_corpus.cpp) covers
+// the same contract on every ctest run; this target exists for longer
+// coverage-guided sessions.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "frontend/rtl_parser.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  try {
+    (void)opiso::parse_rtl(std::string(reinterpret_cast<const char*>(data), size));
+  } catch (const opiso::OpisoError&) {
+    // Structured rejection is a pass.
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "boolfn/bdd.hpp"
+#include "support/error.hpp"
 #include "support/rng.hpp"
 
 namespace opiso {
@@ -104,6 +105,59 @@ TEST_F(BddTest, FromExprToExprRoundTrip) {
   for (int mt = 0; mt < 32; ++mt) {
     auto assign = [&](BoolVar v) { return (mt >> v) & 1; };
     EXPECT_EQ(pool.eval(e, assign), pool.eval(back, assign));
+  }
+}
+
+TEST(BddBudgetTest, NodeBudgetThrowsStructuredResourceError) {
+  // Terminals occupy two slots, so a 4-node budget dies within a few
+  // variables — and does so with the stable resource.bdd-nodes code.
+  BddManager tiny(BddBudget{4, 0});
+  try {
+    BddRef acc = tiny.var(0);
+    for (BoolVar v = 1; v < 16; ++v) acc = tiny.band(acc, tiny.var(v));
+    FAIL() << "expected the node budget to trip";
+  } catch (const ResourceError& e) {
+    EXPECT_EQ(e.code(), ErrCode::ResourceBddNodes);
+    EXPECT_EQ(e.severity(), Severity::Warning);  // recoverable by contract
+  }
+  // The manager survives the refusal: terminals and existing nodes
+  // still answer queries, so callers can degrade instead of rebuild.
+  EXPECT_TRUE(tiny.is_one(tiny.one()));
+  EXPECT_TRUE(tiny.is_zero(tiny.band(tiny.zero(), tiny.one())));
+}
+
+TEST(BddBudgetTest, IteCacheBudgetThrows) {
+  BddManager tiny(BddBudget{0, 1});
+  try {
+    BddRef acc = tiny.var(0);
+    for (BoolVar v = 1; v < 16; ++v) acc = tiny.bor(acc, tiny.band(tiny.var(v), acc));
+    FAIL() << "expected the ITE cache budget to trip";
+  } catch (const ResourceError& e) {
+    EXPECT_EQ(e.code(), ErrCode::ResourceIteCache);
+  }
+}
+
+TEST(BddBudgetTest, ZeroBudgetMeansUnlimited) {
+  BddManager unbounded(BddBudget{});
+  BddRef acc = unbounded.var(0);
+  for (BoolVar v = 1; v < 24; ++v) acc = unbounded.band(acc, unbounded.var(v));
+  EXPECT_FALSE(unbounded.is_zero(acc));
+  EXPECT_GT(unbounded.stats().unique_misses, 24u);
+}
+
+TEST(BddBudgetTest, GenerousBudgetNeverTriggers) {
+  // Same computation under a roomy budget: identical result, no throw —
+  // the budget is pure back-pressure, not a behavior change.
+  ExprPool pool;
+  ExprRef e = pool.lor(pool.land(pool.var(0), pool.var(1)),
+                       pool.land(pool.var(2), pool.land(pool.lnot(pool.var(3)), pool.var(4))));
+  BddManager roomy(BddBudget{1u << 16, 1u << 16});
+  BddManager unbounded;
+  ExprRef a = roomy.simplify_expr(pool, e);
+  ExprRef b = unbounded.simplify_expr(pool, e);
+  for (int mt = 0; mt < 32; ++mt) {
+    auto assign = [&](BoolVar v) { return (mt >> v) & 1; };
+    EXPECT_EQ(pool.eval(a, assign), pool.eval(b, assign));
   }
 }
 

@@ -59,6 +59,46 @@ TEST(Json, ParseErrors) {
   EXPECT_THROW(JsonValue::parse("\"unterminated"), ParseError);
 }
 
+TEST(Json, DepthLimitRejectsPathologicalNesting) {
+  // 100 levels is legitimate structure; 200 must trip the recursion
+  // budget with a structured json.depth diagnostic instead of
+  // overflowing the parser's stack.
+  const auto nested = [](int depth) {
+    return std::string(static_cast<std::size_t>(depth), '[') + "1" +
+           std::string(static_cast<std::size_t>(depth), ']');
+  };
+  EXPECT_NO_THROW(JsonValue::parse(nested(100)));
+  try {
+    (void)JsonValue::parse(nested(200));
+    FAIL() << "expected a depth error";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ErrCode::JsonDepth);
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+  }
+  // Mixed object/array nesting counts against the same budget.
+  std::string mixed;
+  for (int i = 0; i < 100; ++i) mixed += R"({"a":[)";
+  mixed += "1";
+  for (int i = 0; i < 100; ++i) mixed += "]}";
+  EXPECT_THROW(JsonValue::parse(mixed), ParseError);
+}
+
+TEST(Json, RejectsNonFiniteNumbers) {
+  // JSON has no NaN/Infinity literals; each spelling must fail with a
+  // json.number diagnostic that names the problem, and an overflowing
+  // exponent must not sneak a non-finite double into a document.
+  for (const char* text : {"NaN", "nan", "Infinity", "-Infinity", "inf", "-inf",
+                           R"({"v": NaN})", "[1, Infinity]", "1e999", "-1e999"}) {
+    SCOPED_TRACE(text);
+    try {
+      (void)JsonValue::parse(text);
+      ADD_FAILURE() << "parsed non-finite input: " << text;
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.code(), ErrCode::JsonNumber) << e.what();
+    }
+  }
+}
+
 TEST(Json, IntegersStayIntegers) {
   JsonValue v(std::uint64_t{16384});
   EXPECT_EQ(v.dump(), "16384");

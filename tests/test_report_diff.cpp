@@ -111,6 +111,96 @@ TEST(ReportDiff, TrailingGlobMatchesAnySuffix) {
   EXPECT_TRUE(diff_reports(c, e, spec_from(R"([{"path": "power_*", "abs": 1.0}])")).empty());
 }
 
+TEST(ReportDiff, GlobMatchingTable) {
+  // Table-driven matcher contract, exercised through ignore rules: a
+  // matching pattern suppresses the divergence at `path`, a
+  // non-matching one leaves it. Covers `**` matching zero segments
+  // mid-pattern, multiple `**`, `*` vs `**`, and empty path segments
+  // (consecutive dots are real segments here, not separators to fold).
+  struct Case {
+    const char* pattern;
+    const char* key;  // object key whose value diverges (dots nest)
+    bool matches;
+  };
+  const Case kCases[] = {
+      // `**` as zero segments mid-pattern: a.**.z covers a.z ...
+      {"a.**.z", "a.z", true},
+      // ... one segment ...
+      {"a.**.z", "a.b.z", true},
+      // ... and several.
+      {"a.**.z", "a.b.c.d.z", true},
+      {"a.**.z", "a.b.c.tail", false},
+      // `**` must not absorb the required trailing literal.
+      {"a.**.z", "a", false},
+      // Leading `**`.
+      {"**.z", "z", true},
+      {"**.z", "a.b.z", true},
+      {"**.z", "a.b.y", false},
+      // Double `**`.
+      {"**.m.**", "m", true},
+      {"**.m.**", "a.m.b.c", true},
+      {"**.m.**", "a.n.b", false},
+      // Bare `**` matches everything, including the root-level key.
+      {"**", "anything.at.all", true},
+      // `*` is exactly one segment — never zero, never two.
+      {"a.*.z", "a.b.z", true},
+      {"a.*.z", "a.z", false},
+      {"a.*.z", "a.b.c.z", false},
+      // In-segment glob combined with `**`.
+      {"**.power_*", "deep.down.power_mw", true},
+      {"**.power_*", "deep.down.area_um2", false},
+      // Empty segments (an ignore rule author may write "a..b")
+      // participate literally instead of crashing or folding.
+      {"a..b", "a.b", false},
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(std::string(c.pattern) + " vs " + c.key);
+    // Build nested docs so that the dotted path `c.key` exists and
+    // diverges between a and b.
+    JsonValue a(1.0);
+    JsonValue b(2.0);
+    const std::string key(c.key);
+    std::vector<std::string> segs;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t dot = key.find('.', start);
+      segs.push_back(key.substr(start, dot - start));
+      if (dot == std::string::npos) break;
+      start = dot + 1;
+    }
+    for (auto it = segs.rbegin(); it != segs.rend(); ++it) {
+      JsonValue na = JsonValue::object();
+      JsonValue nb = JsonValue::object();
+      na[*it] = std::move(a);
+      nb[*it] = std::move(b);
+      a = std::move(na);
+      b = std::move(nb);
+    }
+    const ToleranceSpec spec =
+        spec_from(std::string(R"([{"path": ")") + c.pattern + R"(", "ignore": true}])");
+    EXPECT_EQ(diff_reports(a, b, spec).empty(), c.matches);
+  }
+}
+
+TEST(ReportDiff, EmptySegmentsInPathsDiffCleanly) {
+  // A document key containing no characters produces an empty path
+  // segment; matching and reporting must handle it.
+  JsonValue a = JsonValue::object();
+  JsonValue b = JsonValue::object();
+  JsonValue inner_a = JsonValue::object();
+  JsonValue inner_b = JsonValue::object();
+  inner_a[""] = JsonValue(1.0);
+  inner_b[""] = JsonValue(2.0);
+  a["x"] = std::move(inner_a);
+  b["x"] = std::move(inner_b);
+  const std::vector<DiffEntry> d = diff_reports(a, b);
+  ASSERT_EQ(d.size(), 1u);
+  // The empty segment is ignorable by an exact-spelling rule.
+  EXPECT_TRUE(diff_reports(a, b, spec_from(R"([{"path": "x.", "ignore": true}])")).empty());
+  // `x.*` also covers it: `*` matches one segment, even an empty one.
+  EXPECT_TRUE(diff_reports(a, b, spec_from(R"([{"path": "x.*", "ignore": true}])")).empty());
+}
+
 TEST(ReportDiff, ExactIntegersBeyondDoublePrecision) {
   // 2^53 and 2^53+1 collapse to the same double; the diff must still
   // see them as different.

@@ -2,6 +2,7 @@
 // error macros, and the simulator's warm-up facility.
 #include <gtest/gtest.h>
 
+#include "obs/json.hpp"
 #include "sim/simulator.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -80,6 +81,67 @@ TEST(Error, HierarchyIsCatchable) {
   EXPECT_THROW(throw NetlistError("x"), Error);
   EXPECT_THROW(throw ParseError("x"), Error);
   EXPECT_THROW(throw SimError("x"), Error);
+  // Everything — including the legacy generic Error — is an OpisoError,
+  // so drivers can catch one type and always get a structured record.
+  EXPECT_THROW(throw Error("x"), OpisoError);
+  EXPECT_THROW(throw ResourceError(ErrCode::ResourceBddNodes, "x"), OpisoError);
+  EXPECT_THROW(throw IoError("x"), OpisoError);
+}
+
+TEST(Error, CodesCarryStableWireNames) {
+  // These names are part of the report schema (opiso.task_failures/v1,
+  // --json-errors): they must never change, only be appended to.
+  EXPECT_STREQ(error_code_name(ErrCode::Internal), "internal");
+  EXPECT_STREQ(error_code_name(ErrCode::Io), "io");
+  EXPECT_STREQ(error_code_name(ErrCode::ParseSyntax), "parse.syntax");
+  EXPECT_STREQ(error_code_name(ErrCode::ParseNumber), "parse.number");
+  EXPECT_STREQ(error_code_name(ErrCode::ParseWidth), "parse.width");
+  EXPECT_STREQ(error_code_name(ErrCode::ParseDuplicate), "parse.duplicate");
+  EXPECT_STREQ(error_code_name(ErrCode::ParseUnknownRef), "parse.unknown-ref");
+  EXPECT_STREQ(error_code_name(ErrCode::ParseDepth), "parse.depth");
+  EXPECT_STREQ(error_code_name(ErrCode::JsonDepth), "json.depth");
+  EXPECT_STREQ(error_code_name(ErrCode::ResourceBddNodes), "resource.bdd-nodes");
+  EXPECT_STREQ(error_code_name(ErrCode::ResourceIteCache), "resource.ite-cache");
+  EXPECT_STREQ(error_code_name(ErrCode::ResourceWallClock), "resource.wall-clock");
+  EXPECT_STREQ(error_code_name(ErrCode::ResourceStimulus), "resource.stimulus");
+  EXPECT_STREQ(error_code_name(ErrCode::TaskFailed), "task.failed");
+  EXPECT_STREQ(error_code_name(ErrCode::TaskSkipped), "task.skipped");
+}
+
+TEST(Error, DefaultsAndAccessors) {
+  const ParseError pe(ErrCode::ParseWidth, "rtl line 7: width 0 out of range", 7);
+  EXPECT_EQ(pe.code(), ErrCode::ParseWidth);
+  EXPECT_EQ(pe.input_line(), 7);
+  EXPECT_EQ(pe.severity(), Severity::Error);
+  // Resource errors are recoverable by design.
+  const ResourceError re(ErrCode::ResourceWallClock, "over budget");
+  EXPECT_EQ(re.severity(), Severity::Warning);
+  // what() stays the plain message (no code prefix) so existing
+  // message-matching tests and logs are unchanged.
+  EXPECT_STREQ(re.what(), "over budget");
+}
+
+TEST(Error, JsonRenderingEscapesAndRoundTrips) {
+  const ParseError e(ErrCode::ParseSyntax, "bad \"quoted\"\tthing\n", 3);
+  const std::string json = e.json();
+  // The hand-rendered JSON must be parseable by the real parser and
+  // reproduce every structured field.
+  const obs::JsonValue doc = obs::JsonValue::parse(json);
+  EXPECT_EQ(doc.at("error").at("code").as_string(), "parse.syntax");
+  EXPECT_EQ(doc.at("error").at("severity").as_string(), "error");
+  EXPECT_EQ(doc.at("error").at("message").as_string(), "bad \"quoted\"\tthing\n");
+  EXPECT_EQ(doc.at("error").at("input_line").as_number(), 3.0);
+}
+
+TEST(Error, RequireFailureIsStructured) {
+  try {
+    OPISO_REQUIRE(false, "broken invariant");
+    FAIL() << "expected throw";
+  } catch (const OpisoError& e) {
+    EXPECT_EQ(e.code(), ErrCode::Internal);
+    EXPECT_NE(e.where().file, nullptr);
+    EXPECT_GT(e.where().line, 0);
+  }
 }
 
 TEST(Warmup, DiscardsResetTransient) {

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "designs/designs.hpp"
+#include "obs/metrics.hpp"
 #include "sim/sweep.hpp"
 #include "util/thread_pool.hpp"
 
@@ -128,6 +129,186 @@ TEST(SweepReport, CarriesSchemaAndTotals) {
 TEST(SweepLaneSeed, StreamsAreDistinct) {
   EXPECT_NE(sweep_lane_seed(1, 0), sweep_lane_seed(1, 1));
   EXPECT_NE(sweep_lane_seed(1, 0), sweep_lane_seed(2, 0));
+}
+
+// ---------------------------------------------------- robustness layer
+
+TEST(ThreadPool, CountsTaskFailuresInMetrics) {
+  obs::metrics().counter("pool.task_failures").reset();
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(20, [](std::size_t i) {
+      if (i % 5 == 0) throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 0");
+  }
+  // Every throwing task is counted, not just the propagated first one.
+  EXPECT_EQ(obs::metrics().counter("pool.task_failures").value(), 4u);
+}
+
+TEST(ThreadPool, SurvivesFailureStorms) {
+  // Regression for the generation-handoff race: a worker still draining
+  // one generation while the caller starts the next could claim
+  // next-generation indices or corrupt the busy histogram. Hammer the
+  // pool with quick alternating throwing/clean generations; correctness
+  // here is "every task of every generation runs exactly once and the
+  // pool never deadlocks" (the ctest TIMEOUT backs the latter).
+  ThreadPool pool(8);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::atomic<int>> hits(17);
+    const bool throwing = round % 2 == 0;
+    try {
+      pool.parallel_for(hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        if (throwing && i % 7 == 3) throw std::runtime_error("x");
+      });
+      EXPECT_FALSE(throwing);
+    } catch (const std::runtime_error&) {
+      EXPECT_TRUE(throwing);
+    }
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(SweepRunner, RunStillPropagatesWithoutIsolation) {
+  std::vector<SweepTask> tasks = demo_tasks();
+  tasks[1].make_design = []() -> Netlist { throw SimError("deliberate"); };
+  EXPECT_THROW((void)SweepRunner(2).run(tasks), SimError);
+}
+
+TEST(SweepRunner, IsolatedSweepRecordsFailureAndCompletes) {
+  std::vector<SweepTask> tasks = demo_tasks();
+  tasks[1].make_design = []() -> Netlist { throw SimError("deliberate sabotage"); };
+  const SweepOutcome out = SweepRunner(4).run_isolated(tasks);
+  EXPECT_FALSE(out.ok());
+  ASSERT_EQ(out.failures.size(), 1u);
+  const SweepTaskFailure& f = out.failures[0];
+  EXPECT_EQ(f.task_index, 1u);
+  EXPECT_EQ(f.design, "design2");
+  EXPECT_EQ(f.seed, 2u);
+  EXPECT_EQ(f.code, "sim.misuse");
+  EXPECT_NE(f.message.find("deliberate sabotage"), std::string::npos);
+  // The healthy tasks still produced full results.
+  EXPECT_FALSE(out.failed(0));
+  EXPECT_FALSE(out.failed(2));
+  EXPECT_GT(out.results[0].toggles, 0u);
+  EXPECT_GT(out.results[2].toggles, 0u);
+  // And they match a clean failure-free run bit for bit.
+  const std::vector<SweepResult> clean = SweepRunner(1).run(demo_tasks());
+  EXPECT_EQ(out.results[0].toggles, clean[0].toggles);
+  EXPECT_EQ(out.results[2].toggles, clean[2].toggles);
+  EXPECT_EQ(out.results[0].power_mw, clean[0].power_mw);
+}
+
+TEST(SweepRunner, IsolatedReportIdenticalAcrossThreadCounts) {
+  // The acceptance contract: a sweep with an injected failing task
+  // still emits a complete report with the opiso.task_failures/v1
+  // section, bitwise identical for any thread count.
+  const auto sabotaged = [] {
+    std::vector<SweepTask> tasks = demo_tasks();
+    tasks[1].make_design = []() -> Netlist {
+      throw ParseError(ErrCode::ParseSyntax, "injected failure");
+    };
+    return tasks;
+  };
+  std::ostringstream one, eight;
+  build_sweep_report(SweepRunner(1).run_isolated(sabotaged())).write(one, 1);
+  build_sweep_report(SweepRunner(8).run_isolated(sabotaged())).write(eight, 1);
+  EXPECT_EQ(one.str(), eight.str());
+  const obs::JsonValue doc = obs::JsonValue::parse(one.str());
+  EXPECT_EQ(doc.at("task_failures").at("schema").as_string(), "opiso.task_failures/v1");
+  ASSERT_EQ(doc.at("task_failures").at("failures").size(), 1u);
+  const obs::JsonValue& entry = doc.at("task_failures").at("failures").at(0);
+  EXPECT_EQ(entry.at("task_index").as_number(), 1.0);
+  EXPECT_EQ(entry.at("code").as_string(), "parse.syntax");
+  EXPECT_EQ(entry.at("design").as_string(), "design2");
+  // The failed slot is excluded from tasks/totals.
+  EXPECT_EQ(doc.at("tasks").size(), 2u);
+  EXPECT_EQ(doc.at("totals").at("tasks").as_number(), 2.0);
+  EXPECT_EQ(doc.at("totals").at("failed_tasks").as_number(), 1.0);
+}
+
+TEST(SweepRunner, CleanReportCarriesEmptyFailureSection) {
+  // Always present, so report consumers can key on the section without
+  // probing and clean/failed reports share one shape.
+  const obs::JsonValue doc = build_sweep_report(SweepRunner(2).run_isolated(demo_tasks()));
+  EXPECT_EQ(doc.at("task_failures").at("schema").as_string(), "opiso.task_failures/v1");
+  EXPECT_EQ(doc.at("task_failures").at("failures").size(), 0u);
+  EXPECT_EQ(doc.at("totals").at("failed_tasks").as_number(), 0.0);
+}
+
+TEST(SweepBudgetTest, StimulusBudgetFailsUpFrontAndDeterministically) {
+  std::vector<SweepTask> tasks = demo_tasks();  // 64 cycles x 64 lanes each
+  SweepRunOptions options;
+  options.budget.task_max_lane_cycles = 64 * 64 - 1;
+  const SweepOutcome out = SweepRunner(3).run_isolated(tasks, options);
+  ASSERT_EQ(out.failures.size(), tasks.size());
+  for (const SweepTaskFailure& f : out.failures) {
+    EXPECT_EQ(f.code, "resource.stimulus");
+    EXPECT_EQ(f.elapsed_lane_cycles, 0u) << "must fail before simulating";
+  }
+  // One lane-cycle more of budget and everything passes.
+  options.budget.task_max_lane_cycles = 64 * 64;
+  EXPECT_TRUE(SweepRunner(3).run_isolated(tasks, options).ok());
+}
+
+TEST(SweepBudgetTest, OverflowProofStimulusCheck) {
+  SweepTask t;
+  t.design = "fig1";
+  t.make_design = [] { return make_fig1(); };
+  t.cycles = ~std::uint64_t{0} / 2;  // cycles * lanes would overflow
+  t.lanes = 64;
+  SweepBudget budget;
+  budget.task_max_lane_cycles = 1000;
+  try {
+    (void)run_sweep_task(t, budget);
+    FAIL() << "expected a stimulus-budget error";
+  } catch (const ResourceError& e) {
+    EXPECT_EQ(e.code(), ErrCode::ResourceStimulus);
+  }
+}
+
+TEST(SweepBudgetTest, WallClockBudgetStopsRunawayTask) {
+  SweepTask t;
+  t.design = "design2";
+  t.make_design = [] { return make_design2(); };
+  t.cycles = 1u << 30;  // would take minutes unbudgeted
+  t.lanes = 64;
+  SweepBudget budget;
+  budget.task_wall_clock_sec = 0.05;
+  try {
+    (void)run_sweep_task(t, budget);
+    FAIL() << "expected a wall-clock error";
+  } catch (const ResourceError& e) {
+    EXPECT_EQ(e.code(), ErrCode::ResourceWallClock);
+  }
+  // Under fault isolation the same budget produces a recorded failure
+  // with deterministic identity fields (elapsed varies with load).
+  SweepRunOptions options;
+  options.budget = budget;
+  const SweepOutcome out = SweepRunner(2).run_isolated({t}, options);
+  ASSERT_EQ(out.failures.size(), 1u);
+  EXPECT_EQ(out.failures[0].code, "resource.wall-clock");
+  EXPECT_EQ(out.failures[0].design, "design2");
+}
+
+TEST(SweepRunner, FailFastSkipsRemainingTasks) {
+  // Single-threaded so the schedule is sequential and the skip set is
+  // predictable: task 0 fails, tasks 1 and 2 must be skipped.
+  std::vector<SweepTask> tasks = demo_tasks();
+  tasks[0].make_design = []() -> Netlist { throw SimError("first fails"); };
+  SweepRunOptions options;
+  options.fail_fast = true;
+  const SweepOutcome out = SweepRunner(1).run_isolated(tasks, options);
+  ASSERT_EQ(out.failures.size(), 3u);
+  EXPECT_EQ(out.failures[0].code, "sim.misuse");
+  EXPECT_EQ(out.failures[1].code, "task.skipped");
+  EXPECT_EQ(out.failures[2].code, "task.skipped");
+  // Without fail-fast the healthy tasks complete.
+  const SweepOutcome patient = SweepRunner(1).run_isolated(tasks);
+  EXPECT_EQ(patient.failures.size(), 1u);
 }
 
 }  // namespace

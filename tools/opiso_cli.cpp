@@ -74,6 +74,9 @@ using namespace opiso;
       "      --slack-threshold NS   reject candidates estimated below this slack\n"
       "      --lookahead            register-lookahead activation derivation\n"
       "      --report               print the per-iteration candidate log\n"
+      "      --bdd-budget N         BDD node budget for activation-function\n"
+      "                             simplification; over-budget functions keep\n"
+      "                             their structural form (0 = unlimited)\n"
       "  explain    <design> --candidate NAME run Algorithm 1, then print the\n"
       "      Eq. 1-5 decision narrative for one candidate from the power-\n"
       "      attribution ledger (accepts the isolate options; exits 1 if the\n"
@@ -88,10 +91,17 @@ using namespace opiso;
       "      --threads N            worker threads, 0 = hardware (default: 0)\n"
       "      --sim scalar|parallel  simulation engine (default: parallel)\n"
       "      --warmup N             per-lane warmup cycles (default: 0)\n"
+      "      --task-budget-sec S    per-task wall-clock budget (default: off)\n"
+      "      --task-max-lane-cycles N  per-task stimulus budget (default: off)\n"
+      "      --fail-fast            stop launching tasks after the first failure\n"
+      "      --inject-failure N     make task N throw (fault-isolation testing)\n"
       "      designs are builtin names (fig1, design1, design2) or files;\n"
       "      --metrics FILE writes the deterministic sweep report — it is\n"
       "      bitwise identical for any --threads and --sim value;\n"
-      "      --progress prints one line per completed task with an ETA\n"
+      "      --progress prints one line per completed task with an ETA;\n"
+      "      sweeps are fault-isolated: a throwing or over-budget task is\n"
+      "      recorded in the report's opiso.task_failures/v1 section while\n"
+      "      the remaining tasks complete (exit code 3)\n"
       "  report diff <a.json> <b.json>        structural report diff:\n"
       "      --tolerances FILE      opiso.report_tolerances/v1 rule file\n"
       "      --subset               A is an expected subset of B\n"
@@ -109,6 +119,12 @@ using namespace opiso;
       "                   speedscope input; implies tracing for the run)\n"
       "  --progress       per-iteration (isolate) or per-task (sweep)\n"
       "                   one-liners on stderr\n"
+      "  --json-errors    also print failures as one-line JSON diagnostics\n"
+      "                   ({\"error\":{\"code\":...,\"severity\":...,...}}) on stderr\n"
+      "\n"
+      "exit codes: 0 success; 1 command failure (error, verify mismatch,\n"
+      "report divergence); 2 usage; 3 sweep completed with failed tasks\n"
+      "(the report is still written in full).\n"
       "\n"
       "<design> is a .rtn structural netlist or a .rtl RTL-language file\n"
       "(chosen by extension).\n";
@@ -143,6 +159,12 @@ struct Args {
   unsigned lanes = ParallelSimulator::kMaxLanes;
   unsigned threads = 0;
   std::uint64_t warmup = 0;
+  bool fail_fast = false;
+  double task_budget_sec = 0.0;
+  std::uint64_t task_max_lane_cycles = 0;
+  std::int64_t inject_failure = -1;  ///< task index to sabotage (testing aid)
+  std::size_t bdd_budget = IsolationOptions{}.bdd_node_budget;
+  bool json_errors = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -201,6 +223,18 @@ Args parse_args(int argc, char** argv) {
       args.threads = static_cast<unsigned>(std::stoul(value()));
     } else if (a == "--warmup") {
       args.warmup = std::stoull(value());
+    } else if (a == "--fail-fast") {
+      args.fail_fast = true;
+    } else if (a == "--task-budget-sec") {
+      args.task_budget_sec = std::stod(value());
+    } else if (a == "--task-max-lane-cycles") {
+      args.task_max_lane_cycles = std::stoull(value());
+    } else if (a == "--inject-failure") {
+      args.inject_failure = static_cast<std::int64_t>(std::stoll(value()));
+    } else if (a == "--bdd-budget") {
+      args.bdd_budget = static_cast<std::size_t>(std::stoull(value()));
+    } else if (a == "--json-errors") {
+      args.json_errors = true;
     } else if (!a.empty() && a[0] == '-') {
       usage();
     } else {
@@ -302,6 +336,19 @@ int run_sweep_cmd(const Args& args, bool& metrics_written) {
       tasks.push_back(std::move(t));
     }
   }
+  if (args.inject_failure >= 0) {
+    // Deliberate sabotage of one task so CI (and users) can watch the
+    // fault-isolation machinery do its job on demand.
+    const auto index = static_cast<std::size_t>(args.inject_failure);
+    if (index >= tasks.size()) {
+      std::cerr << "sweep: --inject-failure " << index << " out of range (have "
+                << tasks.size() << " tasks)\n";
+      usage();
+    }
+    tasks[index].make_design = [index]() -> Netlist {
+      throw Error("injected failure in task " + std::to_string(index));
+    };
+  }
   SweepRunner runner(args.threads);
   const auto t0 = std::chrono::steady_clock::now();
   SweepProgressFn progress;
@@ -316,27 +363,44 @@ int run_sweep_cmd(const Args& args, bool& metrics_written) {
       std::cerr << line;
     };
   }
-  const std::vector<SweepResult> results = runner.run(tasks, progress);
+  SweepRunOptions options;
+  options.fail_fast = args.fail_fast;
+  options.budget.task_wall_clock_sec = args.task_budget_sec;
+  options.budget.task_max_lane_cycles = args.task_max_lane_cycles;
+  const SweepOutcome outcome = runner.run_isolated(tasks, options, progress);
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   std::uint64_t total_lane_cycles = 0;
-  for (const SweepResult& r : results) {
+  for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+    if (outcome.failed(i)) continue;
+    const SweepResult& r = outcome.results[i];
     total_lane_cycles += r.lane_cycles;
     std::cout << r.design << " seed " << r.seed << ": toggles " << r.toggles << ", power "
               << r.power_mw << " mW (" << r.lane_cycles << " lane-cycles)\n";
   }
-  // Throughput goes to stderr: stdout and the report stay deterministic
+  // Failures go to stderr: stdout and the report stay deterministic
   // so CI can diff runs across --threads and --sim values.
+  for (const SweepTaskFailure& f : outcome.failures) {
+    std::cerr << "sweep: task " << f.task_index << " (" << f.design << " seed " << f.seed
+              << ") failed [" << f.code << "]: " << f.message << "\n";
+    if (args.json_errors) {
+      std::cerr << OpisoError(ErrCode::TaskFailed, f.message).json() << "\n";
+    }
+  }
   std::cerr << "sweep: " << tasks.size() << " tasks on " << runner.threads() << " threads, "
             << static_cast<std::uint64_t>(static_cast<double>(total_lane_cycles) /
                                           std::max(secs, 1e-9))
-            << " lane-cycles/sec\n";
+            << " lane-cycles/sec";
+  if (!outcome.ok()) std::cerr << ", " << outcome.failures.size() << " failed";
+  std::cerr << "\n";
   if (!args.metrics_path.empty()) {
-    write_json_file(args.metrics_path, build_sweep_report(results));
+    write_json_file(args.metrics_path, build_sweep_report(outcome));
     metrics_written = true;
   }
-  return 0;
+  // Deterministic exit-code policy: a sweep that completed but recorded
+  // task failures exits 3 (distinct from hard errors = 1, usage = 2).
+  return outcome.ok() ? 0 : 3;
 }
 
 IsolationOptions isolate_options(const Args& args) {
@@ -346,6 +410,7 @@ IsolationOptions isolate_options(const Args& args) {
   opt.omega_a = args.omega_a;
   opt.h_min = args.h_min;
   opt.slack_threshold_ns = args.slack_threshold;
+  opt.bdd_node_budget = args.bdd_budget;
   opt.activation.register_lookahead = args.lookahead;
   opt.sim_engine = args.sim_engine;
   opt.sim_lanes = args.lanes;
@@ -481,10 +546,24 @@ int run(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --json-errors must work even when parse_args itself throws, so scan
+  // for it up front.
+  bool json_errors = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-errors") == 0) json_errors = true;
+  }
   try {
     return run(argc, argv);
-  } catch (const opiso::Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
+  } catch (const opiso::OpisoError& e) {
+    std::cerr << "error[" << e.code_name() << "]: " << e.what() << "\n";
+    if (json_errors) std::cerr << e.json() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error[" << opiso::error_code_name(opiso::ErrCode::Internal) << "]: "
+              << e.what() << "\n";
+    if (json_errors) {
+      std::cerr << opiso::OpisoError(opiso::ErrCode::Internal, e.what()).json() << "\n";
+    }
     return 1;
   }
 }
