@@ -1,5 +1,7 @@
 #include "frontend/rtl_parser.hpp"
 
+#include "netlist/traversal.hpp"
+
 #include <cctype>
 #include <fstream>
 #include <optional>
@@ -337,7 +339,15 @@ std::optional<unsigned> parse_width_suffix(Lexer& lx) {
 
 }  // namespace
 
-Netlist parse_rtl(const std::string& text) {
+Netlist parse_rtl(const std::string& text) { return parse_rtl(text, RtlParseOptions{}); }
+
+Netlist parse_rtl(const std::string& text, const RtlParseOptions& options,
+                  SourceMap* source_map) {
+  // Lines are always tracked in a local map even when the caller passes
+  // none: the cycle diagnostic below needs a line to point at.
+  SourceMap local_map;
+  SourceMap& map = source_map != nullptr ? *source_map : local_map;
+
   // Split into statements (one per line; '#' comments).
   std::vector<Statement> stmts;
   {
@@ -356,6 +366,21 @@ Netlist parse_rtl(const std::string& text) {
   }
 
   Elaborator el;
+
+  // Attribute every net/cell the elaborator created while handling a
+  // statement to that statement's line. Renames happen within the
+  // statement that performs them, so the names seen here are final.
+  std::size_t nets_seen = 0;
+  std::size_t cells_seen = 0;
+  auto record_new = [&](int lineno) {
+    for (; nets_seen < el.nl.num_nets(); ++nets_seen) {
+      map.net_lines.emplace(el.nl.net(NetId{static_cast<std::uint32_t>(nets_seen)}).name, lineno);
+    }
+    for (; cells_seen < el.nl.num_cells(); ++cells_seen) {
+      map.cell_lines.emplace(el.nl.cell(CellId{static_cast<std::uint32_t>(cells_seen)}).name,
+                             lineno);
+    }
+  };
 
   // ---- pass 1: pre-declare registers and latches so any statement —
   // including their own — may reference them (feedback), and pick up
@@ -386,6 +411,7 @@ Netlist parse_rtl(const std::string& text) {
         el.define(lx, name.text, q);
         seq.push_back(SeqDecl{cell, s});
       }
+      record_new(s.lineno);
     } catch (const ParseError&) {
       throw;
     } catch (const Error& e) {
@@ -454,6 +480,7 @@ Netlist parse_rtl(const std::string& text) {
       lx.fail("unknown statement '" + head + "'");
     }
     if (lx.peek().kind != Tok::End) lx.fail("trailing tokens after statement");
+    record_new(s.lineno);
     } catch (const ParseError&) {
       throw;
     } catch (const Error& e) {
@@ -462,16 +489,36 @@ Netlist parse_rtl(const std::string& text) {
     }
   }
 
-  el.nl.validate();
+  if (options.validate) {
+    try {
+      el.nl.validate();
+    } catch (const NetlistError&) {
+      // A combinational cycle is a whole-design property, so validate()
+      // cannot blame a statement. Rebuild the blame here: name the cycle
+      // and point at the line of its first cell.
+      const auto sccs = combinational_sccs(el.nl);
+      if (sccs.empty()) throw;
+      const int at = map.cell_line(el.nl.cell(sccs.front().front()).name);
+      throw ParseError(ErrCode::LintCombLoop,
+                       "rtl line " + std::to_string(at) + ": combinational cycle through " +
+                           describe_comb_cycle(el.nl, sccs.front()),
+                       at);
+    }
+  }
   return el.nl;
 }
 
 Netlist parse_rtl_file(const std::string& path) {
+  return parse_rtl_file(path, RtlParseOptions{});
+}
+
+Netlist parse_rtl_file(const std::string& path, const RtlParseOptions& options,
+                       SourceMap* source_map) {
   std::ifstream is(path);
   if (!is.good()) throw IoError("cannot open '" + path + "' for reading");
   std::ostringstream buf;
   buf << is.rdbuf();
-  return parse_rtl(buf.str());
+  return parse_rtl(buf.str(), options, source_map);
 }
 
 }  // namespace opiso

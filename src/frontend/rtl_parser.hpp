@@ -31,14 +31,29 @@
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "netlist/source_map.hpp"
 
 namespace opiso {
 
+/// Parse-time knobs. `validate = false` skips the final whole-design
+/// validate() so structurally broken designs (combinational cycles) can
+/// still be elaborated for analysis; per-statement checks always run.
+struct RtlParseOptions {
+  bool validate = true;
+};
+
 /// Elaborate RTL text to a netlist. Throws ParseError (with line
-/// numbers) on syntax errors and NetlistError on elaboration errors.
+/// numbers) on syntax errors and NetlistError on elaboration errors. A
+/// combinational cycle surfaces as ParseError with code LintCombLoop
+/// carrying the line of the first cell on the cycle. If `source_map` is
+/// non-null it receives net/cell name -> source line mappings.
 [[nodiscard]] Netlist parse_rtl(const std::string& text);
+[[nodiscard]] Netlist parse_rtl(const std::string& text, const RtlParseOptions& options,
+                                SourceMap* source_map = nullptr);
 
 /// Load from a file.
 [[nodiscard]] Netlist parse_rtl_file(const std::string& path);
+[[nodiscard]] Netlist parse_rtl_file(const std::string& path, const RtlParseOptions& options,
+                                     SourceMap* source_map = nullptr);
 
 }  // namespace opiso

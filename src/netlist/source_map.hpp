@@ -1,0 +1,31 @@
+#pragma once
+// Mapping from netlist object names back to the 1-based line of the
+// textual source (.rtl / .rtn) that created them. Parsers fill one in on
+// request; the lint layer uses it so findings can point at input lines
+// ("designs_rtl/fig1.rtl:12: warning[lint.width] ...") instead of only
+// naming nets and cells. Keyed by name, not id, so the map stays valid
+// across transforms that append cells without renaming existing ones.
+
+#include <string>
+#include <unordered_map>
+
+namespace opiso {
+
+struct SourceMap {
+  std::unordered_map<std::string, int> net_lines;   ///< net name -> 1-based line
+  std::unordered_map<std::string, int> cell_lines;  ///< cell name -> 1-based line
+
+  /// Line that declared/created the named net (0 = unknown).
+  [[nodiscard]] int net_line(const std::string& name) const {
+    auto it = net_lines.find(name);
+    return it == net_lines.end() ? 0 : it->second;
+  }
+
+  /// Line that created the named cell (0 = unknown).
+  [[nodiscard]] int cell_line(const std::string& name) const {
+    auto it = cell_lines.find(name);
+    return it == cell_lines.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace opiso

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "netlist/traversal.hpp"
+
 namespace opiso {
 
 void write_netlist(std::ostream& os, const Netlist& nl) {
@@ -27,7 +29,10 @@ std::string netlist_to_string(const Netlist& nl) {
   return os.str();
 }
 
-Netlist read_netlist(std::istream& is) {
+Netlist read_netlist(std::istream& is) { return read_netlist(is, NetlistReadOptions{}); }
+
+Netlist read_netlist(std::istream& is, const NetlistReadOptions& options,
+                     SourceMap* source_map) {
   Netlist nl;
   std::string line;
   int lineno = 0;
@@ -51,6 +56,7 @@ Netlist read_netlist(std::istream& is) {
       if (!(ls >> name >> width)) fail("net needs <name> <width>");
       try {
         nl.add_net(name, width);
+        if (source_map != nullptr) source_map->net_lines.emplace(name, lineno);
       } catch (const Error& e) {
         fail(e.what());
       }
@@ -81,6 +87,7 @@ Netlist read_netlist(std::istream& is) {
       }
       try {
         nl.add_cell(cell_kind_from_name(kind_name), name, ins, out, param);
+        if (source_map != nullptr) source_map->cell_lines.emplace(name, lineno);
       } catch (const Error& e) {
         fail(e.what());
       }
@@ -88,7 +95,23 @@ Netlist read_netlist(std::istream& is) {
       fail("unknown directive '" + head + "'");
     }
   }
-  nl.validate();
+  if (options.validate) {
+    try {
+      nl.validate();
+    } catch (const NetlistError& e) {
+      // A cycle is a property of the whole design, not one statement; wrap
+      // it as a parse diagnostic pointing at the first cell on the cycle so
+      // drivers get a line-carrying, stable-coded rejection.
+      const auto sccs = combinational_sccs(nl);
+      if (sccs.empty()) throw;
+      int at = 0;
+      if (source_map != nullptr) at = source_map->cell_line(nl.cell(sccs.front().front()).name);
+      throw ParseError(ErrCode::LintCombLoop,
+                       "rtn line " + std::to_string(at) + ": combinational cycle through " +
+                           describe_comb_cycle(nl, sccs.front()),
+                       at);
+    }
+  }
   return nl;
 }
 
@@ -107,6 +130,13 @@ Netlist load_netlist(const std::string& path) {
   std::ifstream is(path);
   OPISO_REQUIRE(is.good(), "cannot open '" + path + "' for reading");
   return read_netlist(is);
+}
+
+Netlist load_netlist(const std::string& path, const NetlistReadOptions& options,
+                     SourceMap* source_map) {
+  std::ifstream is(path);
+  OPISO_REQUIRE(is.good(), "cannot open '" + path + "' for reading");
+  return read_netlist(is, options, source_map);
 }
 
 }  // namespace opiso

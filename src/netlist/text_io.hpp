@@ -14,16 +14,30 @@
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "netlist/source_map.hpp"
 
 namespace opiso {
 
 void write_netlist(std::ostream& os, const Netlist& nl);
 [[nodiscard]] std::string netlist_to_string(const Netlist& nl);
 
+/// Load-time knobs. `validate = false` skips the final validate() call so
+/// structurally suspect designs (combinational cycles, dangling nets) can
+/// be loaded for *analysis* — the lint driver wants to report on such
+/// designs, not be rejected by the loader. Per-statement checks
+/// (add_net/add_cell width and pin rules) always run.
+struct NetlistReadOptions {
+  bool validate = true;
+};
+
 [[nodiscard]] Netlist read_netlist(std::istream& is);
+[[nodiscard]] Netlist read_netlist(std::istream& is, const NetlistReadOptions& options,
+                                   SourceMap* source_map = nullptr);
 [[nodiscard]] Netlist netlist_from_string(const std::string& text);
 
 void save_netlist(const std::string& path, const Netlist& nl);
 [[nodiscard]] Netlist load_netlist(const std::string& path);
+[[nodiscard]] Netlist load_netlist(const std::string& path, const NetlistReadOptions& options,
+                                   SourceMap* source_map = nullptr);
 
 }  // namespace opiso

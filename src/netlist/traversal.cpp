@@ -56,16 +56,118 @@ std::vector<CellId> topological_order(const Netlist& nl) {
     }
   }
   // Registers/PIs that consume nets were pushed as sources already; a
-  // shortfall means a combinational cycle.
+  // shortfall means a combinational cycle. Name the actual cycle (via
+  // the SCC decomposition) rather than an arbitrary pending cell — the
+  // blocked cell Kahn leaves behind is often merely downstream of it.
   if (order.size() != n) {
-    for (std::uint32_t i = 0; i < n; ++i) {
-      if (pending[i] > 0) {
-        throw NetlistError("combinational cycle through cell '" + nl.cell(CellId{i}).name + "'");
-      }
+    const std::vector<std::vector<CellId>> sccs = combinational_sccs(nl);
+    if (!sccs.empty()) {
+      throw NetlistError("combinational cycle through " +
+                         describe_comb_cycle(nl, sccs.front()));
     }
     throw NetlistError("combinational cycle detected");
   }
   return order;
+}
+
+std::vector<std::vector<CellId>> combinational_sccs(const Netlist& nl) {
+  const std::size_t n = nl.num_cells();
+  constexpr std::uint32_t kUnvisited = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<bool> self_loop(n, false);
+  std::vector<std::uint32_t> stack;
+  std::vector<std::vector<CellId>> sccs;
+  std::uint32_t next_index = 0;
+
+  // Explicit DFS frames (cell + next fanout edge) instead of recursion:
+  // a cyclic input must produce a diagnostic, not a stack overflow, and
+  // cycles imply arbitrarily deep walks.
+  struct Frame {
+    std::uint32_t cell;
+    std::size_t edge;
+  };
+  std::vector<Frame> frames;
+
+  auto comb_edges = [&](std::uint32_t c) -> const std::vector<Pin>* {
+    const Cell& cell = nl.cell(CellId{c});
+    if (!is_comb(cell.kind) || !cell.out.valid()) return nullptr;
+    return &nl.net(cell.out).fanouts;
+  };
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (!is_comb(nl.cell(CellId{root}).kind) || index[root] != kUnvisited) continue;
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    frames.push_back(Frame{root, 0});
+    while (!frames.empty()) {
+      const std::uint32_t cur = frames.back().cell;
+      const std::vector<Pin>* edges = comb_edges(cur);
+      bool descended = false;
+      while (edges != nullptr && frames.back().edge < edges->size()) {
+        const Pin pin = (*edges)[frames.back().edge++];
+        const std::uint32_t succ = pin.cell.value();
+        if (!is_comb(nl.cell(pin.cell).kind)) continue;
+        if (succ == cur) self_loop[cur] = true;
+        if (index[succ] == kUnvisited) {
+          index[succ] = low[succ] = next_index++;
+          stack.push_back(succ);
+          on_stack[succ] = true;
+          frames.push_back(Frame{succ, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[succ]) low[cur] = std::min(low[cur], index[succ]);
+      }
+      if (descended) continue;
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().cell] = std::min(low[frames.back().cell], low[cur]);
+      }
+      if (low[cur] == index[cur]) {
+        std::vector<CellId> comp;
+        while (true) {
+          const std::uint32_t m = stack.back();
+          stack.pop_back();
+          on_stack[m] = false;
+          comp.emplace_back(m);
+          if (m == cur) break;
+        }
+        if (comp.size() > 1 || self_loop[cur]) {
+          std::sort(comp.begin(), comp.end(),
+                    [](CellId a, CellId b) { return a.value() < b.value(); });
+          sccs.push_back(std::move(comp));
+        }
+      }
+    }
+  }
+  std::sort(sccs.begin(), sccs.end(),
+            [](const std::vector<CellId>& a, const std::vector<CellId>& b) {
+              return a.front().value() < b.front().value();
+            });
+  return sccs;
+}
+
+bool has_combinational_cycle(const Netlist& nl) { return !combinational_sccs(nl).empty(); }
+
+std::string describe_comb_cycle(const Netlist& nl, const std::vector<CellId>& scc) {
+  constexpr std::size_t kMaxNamed = 4;
+  std::string out;
+  const std::size_t shown = std::min(scc.size(), kMaxNamed);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i > 0) out += " -> ";
+    out += "'" + nl.cell(scc[i]).name + "'";
+  }
+  if (scc.size() > kMaxNamed) {
+    out += " ... (+" + std::to_string(scc.size() - kMaxNamed) + " more)";
+  } else if (scc.size() > 1) {
+    out += " -> '" + nl.cell(scc.front()).name + "'";
+  } else {
+    out += " -> '" + nl.cell(scc.front()).name + "' (self-loop)";
+  }
+  return out;
 }
 
 std::vector<CombBlock> combinational_blocks(const Netlist& nl) {

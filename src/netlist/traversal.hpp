@@ -12,6 +12,7 @@
 //   derivation and the legality check that activation logic never taps a
 //   signal inside the isolated module's own fanout.
 
+#include <string>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -53,5 +54,24 @@ struct CombBlock {
 /// of `cell` — i.e. inserting logic from `net` to an input of `cell`
 /// would create a combinational cycle.
 [[nodiscard]] bool net_in_combinational_fanout(const Netlist& nl, CellId cell, NetId net);
+
+/// Strongly connected components of the combinational cell graph that
+/// form cycles: components of more than one cell, plus single cells that
+/// feed themselves. Iterative Tarjan with an explicit frame stack and
+/// on-stack marks — cyclic inputs must come back as findings, never as a
+/// hung walk or an exhausted call stack. Deterministic: cells within a
+/// component are sorted by id, components ordered by their first cell.
+/// Safe to call on netlists that fail validate() (this is how the cycle
+/// diagnostics are produced in the first place).
+[[nodiscard]] std::vector<std::vector<CellId>> combinational_sccs(const Netlist& nl);
+
+/// True when the combinational graph contains at least one cycle (i.e.
+/// topological_order / validate() would throw).
+[[nodiscard]] bool has_combinational_cycle(const Netlist& nl);
+
+/// Human-readable path through one cycle: "'a' -> 'b' -> 'a'" (at most
+/// four distinct cells named, then "... (+N more)").
+[[nodiscard]] std::string describe_comb_cycle(const Netlist& nl,
+                                              const std::vector<CellId>& scc);
 
 }  // namespace opiso

@@ -66,7 +66,9 @@ class TaskGuard {
 };
 
 SweepResult run_sweep_task_impl(const SweepTask& task, const SweepBudget& budget,
-                                std::uint64_t* elapsed_lane_cycles) {
+                                std::uint64_t* elapsed_lane_cycles,
+                                const std::function<void(const SweepTask&, const Netlist&)>&
+                                    preflight = nullptr) {
   OPISO_SPAN("sweep.task");
   OPISO_REQUIRE(task.make_design != nullptr, "sweep task '" + task.design + "': no design");
   OPISO_REQUIRE(task.lanes >= 1 && task.lanes <= ParallelSimulator::kMaxLanes,
@@ -83,6 +85,10 @@ SweepResult run_sweep_task_impl(const SweepTask& task, const SweepBudget& budget
   }
   TaskGuard guard(task, budget, elapsed_lane_cycles);
   const Netlist nl = task.make_design();
+  // Pre-flight before any simulator touches the design: a rejection
+  // throws here, before lane state is allocated, so bad inputs cost
+  // milliseconds and surface with the rejecting check's own error code.
+  if (preflight != nullptr) preflight(task, nl);
   guard.check_clock();
   ActivityStats stats;
   if (task.engine == SimEngineKind::Parallel) {
@@ -221,7 +227,8 @@ SweepOutcome SweepRunner::run_isolated(const std::vector<SweepTask>& tasks,
       failure.message = "skipped after an earlier failure (--fail-fast)";
     } else {
       try {
-        out.results[i] = run_sweep_task_impl(tasks[i], options.budget, &elapsed);
+        out.results[i] = run_sweep_task_impl(tasks[i], options.budget, &elapsed,
+                                             options.preflight);
       } catch (const OpisoError& e) {
         failed = true;
         failure.code = e.code_name();

@@ -89,6 +89,13 @@ struct SweepRunOptions {
   /// latency — leave it off when diffing reports across --threads.
   bool fail_fast = false;
   SweepBudget budget;
+  /// Pre-flight hook run against each task's elaborated design before
+  /// any simulation. Throwing an OpisoError rejects the task: it is
+  /// recorded in opiso.task_failures/v1 under the error's stable code
+  /// (this is how the CLI wires `opiso lint` in front of every task
+  /// without the sweep layer depending on the analyzer). Must be pure —
+  /// it runs on worker threads, one design at a time.
+  std::function<void(const SweepTask&, const Netlist&)> preflight;
 };
 
 /// Result of a fault-isolated sweep: per-task results in task order

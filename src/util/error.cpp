@@ -24,6 +24,15 @@ const char* error_code_name(ErrCode code) noexcept {
     case ErrCode::ResourceStimulus: return "resource.stimulus";
     case ErrCode::TaskFailed: return "task.failed";
     case ErrCode::TaskSkipped: return "task.skipped";
+    case ErrCode::LintCombLoop: return "lint.comb_loop";
+    case ErrCode::LintWidth: return "lint.width";
+    case ErrCode::LintUndriven: return "lint.undriven";
+    case ErrCode::LintMultiDriven: return "lint.multi_driven";
+    case ErrCode::LintDangling: return "lint.dangling";
+    case ErrCode::LintDeadLogic: return "lint.dead_logic";
+    case ErrCode::LintIsolationUnsound: return "lint.isolation_unsound";
+    case ErrCode::LintIsolationUnproven: return "lint.isolation_unproven";
+    case ErrCode::LintIsolationOverhead: return "lint.isolation_overhead";
   }
   return "unknown";
 }

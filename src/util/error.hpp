@@ -53,6 +53,19 @@ enum class ErrCode : std::uint16_t {
   ResourceStimulus,   ///< per-task stimulus (lane-cycle) budget exceeded
   TaskFailed,         ///< a sweep task failed (wraps the root cause)
   TaskSkipped,        ///< a sweep task was skipped (fail-fast after a failure)
+  // Static-analysis findings (src/lint). Each lint pass reports its
+  // findings under one of these codes, so a finding carries the same
+  // stable wire name whether it surfaces as an `opiso lint` report
+  // entry, a sweep pre-flight task failure, or a parse-time rejection.
+  LintCombLoop,           ///< combinational cycle (comb_loop pass)
+  LintWidth,              ///< width mismatch / silent truncation (width pass)
+  LintUndriven,           ///< net with no driver (drivers pass)
+  LintMultiDriven,        ///< conflicting drivers / fanout bookkeeping (drivers pass)
+  LintDangling,           ///< net that drives nothing (drivers pass)
+  LintDeadLogic,          ///< logic no register or output can observe (dead_logic pass)
+  LintIsolationUnsound,   ///< AS = 0 does not imply the output is unobserved
+  LintIsolationUnproven,  ///< soundness proof exceeded its BDD budget
+  LintIsolationOverhead,  ///< AS gating depth eats into the STA slack
 };
 
 enum class Severity : std::uint8_t {

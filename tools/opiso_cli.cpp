@@ -12,8 +12,11 @@
 //   opiso optimize <design> [-o out.rtn]        optimization passes
 //   opiso lower    <design> [-o out.rtn]        gate-level expansion
 //   opiso verify   <original> <transformed>     BDD equivalence proof
+//   opiso lint     <design...> [options]        static analysis (pass-based)
+//       --fail-on error|warning   --bdd-budget N   --slack-threshold NS
 //   opiso sweep    <design...> [options]        multithreaded simulation sweep
 //       --seeds N   --cycles N   --lanes N   --threads N   --sim scalar|parallel
+//       --no-prelint (skip the per-task lint pre-flight)
 //   opiso report diff <a.json> <b.json>         tolerance-aware report diff
 //       [--tolerances FILE] [--subset]          exit 0 match, 1 diff, 2 usage
 //
@@ -38,6 +41,7 @@
 #include "designs/designs.hpp"
 #include "frontend/rtl_parser.hpp"
 #include "isolation/report.hpp"
+#include "lint/lint.hpp"
 #include "lower/gate_level.hpp"
 #include "netlist/stats.hpp"
 #include "netlist/text_io.hpp"
@@ -84,6 +88,22 @@ using namespace opiso;
       "  optimize   <design> [-o out.rtn]     optimization passes\n"
       "  lower      <design> [-o out.rtn]     gate-level expansion\n"
       "  verify     <original> <transformed>  BDD equivalence proof\n"
+      "  lint       <design...>               static analysis; passes: comb_loop,\n"
+      "      width, drivers, dead_logic, isolation_soundness, isolation_overhead;\n"
+      "      findings carry stable lint.* codes (lint.comb_loop, lint.width,\n"
+      "      lint.undriven, lint.multi_driven, lint.dangling, lint.dead_logic,\n"
+      "      lint.isolation_unsound, lint.isolation_unproven,\n"
+      "      lint.isolation_overhead)\n"
+      "      --fail-on error|warning  lowest severity that fails the run\n"
+      "                             (default: error; exit 1 when any finding\n"
+      "                             is at or above it)\n"
+      "      --pass NAME            run only the named pass (repeatable)\n"
+      "      --bdd-budget N         node budget for the soundness proofs;\n"
+      "                             over-budget proofs degrade to\n"
+      "                             lint.isolation_unproven warnings\n"
+      "      --slack-threshold NS   isolation_overhead flags bank outputs\n"
+      "                             below this slack (default: 0)\n"
+      "      --metrics FILE writes the opiso.lint/v1 report\n"
       "  sweep      <design...>               multithreaded simulation sweep:\n"
       "      --seeds N              stimulus seeds per design (default: 4)\n"
       "      --cycles N             total cycles per task, split across lanes\n"
@@ -95,6 +115,10 @@ using namespace opiso;
       "      --task-max-lane-cycles N  per-task stimulus budget (default: off)\n"
       "      --fail-fast            stop launching tasks after the first failure\n"
       "      --inject-failure N     make task N throw (fault-isolation testing)\n"
+      "      --no-prelint           skip the per-task lint pre-flight (rejected\n"
+      "                             designs are otherwise recorded in the\n"
+      "                             report's opiso.task_failures/v1 section\n"
+      "                             under their lint.* code)\n"
       "      designs are builtin names (fig1, design1, design2) or files;\n"
       "      --metrics FILE writes the deterministic sweep report — it is\n"
       "      bitwise identical for any --threads and --sim value;\n"
@@ -123,8 +147,9 @@ using namespace opiso;
       "                   ({\"error\":{\"code\":...,\"severity\":...,...}}) on stderr\n"
       "\n"
       "exit codes: 0 success; 1 command failure (error, verify mismatch,\n"
-      "report divergence); 2 usage; 3 sweep completed with failed tasks\n"
-      "(the report is still written in full).\n"
+      "report divergence, lint findings at or above --fail-on severity);\n"
+      "2 usage; 3 sweep completed with failed tasks (the report is still\n"
+      "written in full).\n"
       "\n"
       "<design> is a .rtn structural netlist or a .rtl RTL-language file\n"
       "(chosen by extension).\n";
@@ -165,6 +190,9 @@ struct Args {
   std::int64_t inject_failure = -1;  ///< task index to sabotage (testing aid)
   std::size_t bdd_budget = IsolationOptions{}.bdd_node_budget;
   bool json_errors = false;
+  Severity fail_on = Severity::Error;
+  std::vector<std::string> only_passes;
+  bool no_prelint = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -235,6 +263,15 @@ Args parse_args(int argc, char** argv) {
       args.bdd_budget = static_cast<std::size_t>(std::stoull(value()));
     } else if (a == "--json-errors") {
       args.json_errors = true;
+    } else if (a == "--fail-on") {
+      const std::string s = value();
+      if (s == "error") args.fail_on = Severity::Error;
+      else if (s == "warning") args.fail_on = Severity::Warning;
+      else usage();
+    } else if (a == "--pass") {
+      args.only_passes.push_back(value());
+    } else if (a == "--no-prelint") {
+      args.no_prelint = true;
     } else if (!a.empty() && a[0] == '-') {
       usage();
     } else {
@@ -312,12 +349,58 @@ int run_report_diff_cmd(const Args& args) {
   return 1;
 }
 
-/// Sweep designs are builtin generator names or design files.
-Netlist make_sweep_design(const std::string& name) {
+/// Load a design for *analysis*: final validate() is skipped so broken
+/// structures (combinational cycles) reach the analyzer instead of
+/// being rejected by the loader, and source lines are recorded when the
+/// caller wants them in diagnostics.
+Netlist load_design_lenient(const std::string& path, SourceMap* source_map = nullptr) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".rtl") {
+    return parse_rtl_file(path, RtlParseOptions{false}, source_map);
+  }
+  return load_netlist(path, NetlistReadOptions{false}, source_map);
+}
+
+/// Sweep/lint designs are builtin generator names or design files.
+Netlist make_sweep_design(const std::string& name, SourceMap* source_map = nullptr) {
   if (name == "fig1") return make_fig1();
   if (name == "design1") return make_design1();
   if (name == "design2") return make_design2();
-  return load_design(name);
+  return load_design_lenient(name, source_map);
+}
+
+lint::LintOptions lint_options(const Args& args) {
+  lint::LintOptions opt;
+  opt.bdd.max_nodes = args.bdd_budget;
+  opt.overhead_slack_threshold_ns = args.slack_threshold;
+  opt.only_passes = args.only_passes;
+  return opt;
+}
+
+int run_lint_cmd(const Args& args, bool& metrics_written) {
+  int exit_code = 0;
+  obs::JsonValue reports = obs::JsonValue::array();
+  for (const std::string& name : args.positional) {
+    SourceMap source_map;
+    const Netlist nl = make_sweep_design(name, &source_map);
+    const lint::LintReport report = lint::run_lint(nl, lint_options(args), &source_map);
+    lint::print_lint_text(std::cout, report, name);
+    if (report.fails(args.fail_on)) exit_code = 1;
+    if (!args.metrics_path.empty()) reports.push_back(lint::build_lint_report(report));
+  }
+  if (!args.metrics_path.empty()) {
+    // One design -> the bare opiso.lint/v1 document; several -> a
+    // wrapper carrying one document per design.
+    if (reports.size() == 1) {
+      write_json_file(args.metrics_path, reports.at(0));
+    } else {
+      obs::JsonValue doc = obs::JsonValue::object();
+      doc["schema"] = "opiso.lint/v1";
+      doc["reports"] = std::move(reports);
+      write_json_file(args.metrics_path, doc);
+    }
+    metrics_written = true;
+  }
+  return exit_code;
 }
 
 int run_sweep_cmd(const Args& args, bool& metrics_written) {
@@ -367,6 +450,16 @@ int run_sweep_cmd(const Args& args, bool& metrics_written) {
   options.fail_fast = args.fail_fast;
   options.budget.task_wall_clock_sec = args.task_budget_sec;
   options.budget.task_max_lane_cycles = args.task_max_lane_cycles;
+  if (!args.no_prelint) {
+    // Lint pre-flight: a design with error-severity findings never
+    // reaches a simulator; the rejection lands in the report's
+    // opiso.task_failures/v1 section under its lint.* code. Clean
+    // designs add nothing to the report, so sweeps stay bitwise
+    // identical with and without the pre-flight.
+    options.preflight = [](const SweepTask& task, const Netlist& nl) {
+      lint::throw_on_findings(lint::run_lint(nl), Severity::Error, task.design);
+    };
+  }
   const SweepOutcome outcome = runner.run_isolated(tasks, options, progress);
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -440,6 +533,13 @@ int run(int argc, char** argv) {
     // Handled before the shared design load: sweep takes several
     // designs, by builtin name or path.
     const int rc = run_sweep_cmd(args, metrics_written);
+    write_obs_artifacts(args, metrics_written);
+    return rc;
+  }
+  if (cmd == "lint") {
+    // Also before the shared load: lint takes several designs and loads
+    // them leniently (a cyclic design must reach the analyzer).
+    const int rc = run_lint_cmd(args, metrics_written);
     write_obs_artifacts(args, metrics_written);
     return rc;
   }
