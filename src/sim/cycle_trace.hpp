@@ -1,0 +1,119 @@
+#pragma once
+// Time-resolved switching capture — the temporal axis of ActivityStats.
+//
+// ActivityStats answers "how often did this net toggle over the run";
+// a CycleSink answers "when". Both engines feed the hook once per
+// macro-cycle with the per-net bit-toggle counts of that cycle, folded
+// over all active lanes — for the scalar engine a per-net popcount of
+// value ^ prev, for the 64-lane engine the popcount summed over the bit
+// planes. The counts are integers, so folding, windowing and merging
+// are exact: the per-cycle trace of an L-lane parallel run is bitwise
+// identical to the sample-wise sum of L scalar traces with the same
+// lane streams (the same oracle discipline as ActivityStats::merge),
+// and a trace's per-net totals reproduce ActivityStats::toggles exactly.
+//
+// CycleTrace is the standard sink: it folds cycles into fixed-width
+// windows (window = 1 keeps full per-cycle resolution; larger windows
+// bound memory on long runs — sums are preserved exactly either way)
+// and can optionally snapshot net values (scalar engine only), which is
+// what the VCD exporter consumes.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/activity.hpp"
+
+namespace opiso {
+
+/// Per-cycle observer both simulation engines drive. Called after the
+/// cycle's combinational settle and statistics recording, before the
+/// clock edge — `net_toggles[n]` is the number of bit toggles of net n
+/// between the previous and this cycle summed over the engine's active
+/// lanes (all zero on the first observed cycle), `lanes` is that lane
+/// count, and `net_values` points at the per-net settled values (scalar
+/// engine only; null from the lane-parallel engine, whose values live
+/// in bit planes).
+class CycleSink {
+ public:
+  virtual ~CycleSink() = default;
+  virtual void on_cycle(const Netlist& nl, std::uint64_t cycle, unsigned lanes,
+                        std::span<const std::uint32_t> net_toggles,
+                        const std::uint64_t* net_values) = 0;
+};
+
+/// Windowed per-net toggle trace (plus optional value snapshots).
+///
+/// Sample s covers macro-cycles [s*window, (s+1)*window) of the
+/// observed run; the final sample may cover fewer cycles
+/// (sample_cycles(s)). Call finish() after the run to flush a partial
+/// trailing sample — all accessors below require it.
+class CycleTrace final : public CycleSink {
+ public:
+  explicit CycleTrace(std::uint64_t window = 1, bool record_values = false);
+
+  void on_cycle(const Netlist& nl, std::uint64_t cycle, unsigned lanes,
+                std::span<const std::uint32_t> net_toggles,
+                const std::uint64_t* net_values) override;
+
+  /// Flush the partial trailing sample. Idempotent; capture may not
+  /// resume afterwards.
+  void finish();
+
+  /// Sample-wise accumulation of another trace over the same netlist
+  /// and window — the oracle operation that folds N scalar lane traces
+  /// into the shape of one N-lane parallel trace. An empty *this adopts
+  /// the other side's shape; value snapshots do not merge and are
+  /// dropped. Both traces must be finished.
+  void merge(const CycleTrace& other);
+
+  [[nodiscard]] std::uint64_t window() const { return window_; }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }  ///< macro-cycles observed
+  [[nodiscard]] unsigned lanes() const { return lanes_; }         ///< folded lane count
+  [[nodiscard]] std::size_t num_samples() const { return samples_.size(); }
+  [[nodiscard]] std::size_t num_nets() const { return num_nets_; }
+  [[nodiscard]] bool has_values() const { return record_values_; }
+
+  /// Macro-cycles folded into sample s (== window except possibly last).
+  [[nodiscard]] std::uint64_t sample_cycles(std::size_t s) const;
+  /// Per-net toggle counts of sample s (lane-folded, exact integers).
+  [[nodiscard]] const std::vector<std::uint64_t>& sample_toggles(std::size_t s) const;
+  /// Per-net value snapshot at the last cycle of sample s (requires
+  /// record_values; scalar engine only).
+  [[nodiscard]] const std::vector<std::uint64_t>& sample_values(std::size_t s) const;
+  /// Per-net toggle totals over the whole trace — equals the engine's
+  /// ActivityStats::toggles for the same run segment, exactly.
+  [[nodiscard]] const std::vector<std::uint64_t>& net_totals() const { return net_totals_; }
+
+  /// Rebuild the aggregate statistics this trace integrates to:
+  /// toggles = net_totals(), cycles = cycles() * lanes(). Feeding the
+  /// result to PowerEstimator reproduces the aggregate power of the
+  /// traced run bit-for-bit (the estimator consumes only toggle rates;
+  /// static probabilities are not captured per cycle and stay zero).
+  [[nodiscard]] ActivityStats to_activity_stats() const;
+
+ private:
+  void flush_sample();
+
+  std::uint64_t window_;
+  bool record_values_;
+  bool finished_ = false;
+
+  std::size_t num_nets_ = 0;
+  unsigned lanes_ = 0;
+  std::uint64_t cycles_ = 0;           ///< macro-cycles observed so far
+  std::uint64_t cycles_in_sample_ = 0;  ///< cycles folded into the open sample
+
+  struct Sample {
+    std::uint64_t cycles = 0;
+    std::vector<std::uint64_t> toggles;  ///< per net
+    std::vector<std::uint64_t> values;   ///< per net (empty unless recording)
+  };
+  std::vector<std::uint64_t> accum_;      ///< open sample: per-net toggles
+  std::vector<std::uint64_t> last_values_;
+  std::vector<std::uint64_t> net_totals_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace opiso

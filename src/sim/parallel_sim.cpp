@@ -6,6 +6,7 @@
 #include "netlist/traversal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/cycle_trace.hpp"
 #include "support/error.hpp"
 
 namespace opiso {
@@ -338,6 +339,11 @@ std::uint64_t ParallelSimulator::eval_expr_lanes(ExprRef r) {
   return v;
 }
 
+void ParallelSimulator::set_cycle_sink(CycleSink* sink) {
+  sink_ = sink;
+  if (sink_) sink_toggles_.assign(nl_.num_nets(), 0);
+}
+
 void ParallelSimulator::record_stats() {
   const bool bits = !stats_.bit_toggles.empty();
   for (NetId id : nl_.net_ids()) {
@@ -353,8 +359,13 @@ void ParallelSimulator::record_stats() {
         if (bits) stats_.bit_toggles[n][b] += pc;
       }
       stats_.toggles[n] += total;
+      if (sink_) sink_toggles_[n] = static_cast<std::uint32_t>(total);
     }
     stats_.ones[n] += static_cast<std::uint64_t>(std::popcount(planes_[off]));
+  }
+  if (sink_) {
+    if (!has_prev_) std::fill(sink_toggles_.begin(), sink_toggles_.end(), 0);
+    sink_->on_cycle(nl_, cycle_, lanes_, sink_toggles_, nullptr);
   }
   if (!probes_.empty()) {
     ++gen_;

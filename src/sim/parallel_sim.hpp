@@ -33,6 +33,8 @@
 
 namespace opiso {
 
+class CycleSink;
+
 class ParallelSimulator : public ProbeHost {
  public:
   static constexpr unsigned kMaxLanes = 64;
@@ -67,6 +69,12 @@ class ParallelSimulator : public ProbeHost {
   void reset_stats() { stats_.reset(); }
   /// Reset circuit state in all lanes (keeps stimulus streams).
   void reset_state();
+  /// Attach a per-cycle observer (null detaches). Each macro-cycle the
+  /// sink receives the per-net toggle counts folded over all lanes
+  /// (popcount per plane, summed) — bitwise identical to the sample-wise
+  /// sum of the scalar engine's per-lane traces. Net values are not
+  /// passed (they live in bit planes); attach after warmup.
+  void set_cycle_sink(CycleSink* sink);
   /// Collect per-bit toggle counts (dual-bit-type power models).
   void enable_bit_stats();
 
@@ -116,6 +124,8 @@ class ParallelSimulator : public ProbeHost {
   ActivityStats stats_;
   std::uint64_t cycle_ = 0;
   bool has_prev_ = false;
+  CycleSink* sink_ = nullptr;
+  std::vector<std::uint32_t> sink_toggles_;  ///< per net, this macro-cycle (lane-folded)
 };
 
 }  // namespace opiso

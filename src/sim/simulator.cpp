@@ -8,6 +8,7 @@
 #include "netlist/traversal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/cycle_trace.hpp"
 #include "support/error.hpp"
 
 namespace opiso {
@@ -148,11 +149,18 @@ void Simulator::enable_bit_stats() {
   }
 }
 
+void Simulator::set_cycle_sink(CycleSink* sink) {
+  sink_ = sink;
+  if (sink_) sink_toggles_.assign(nl_.num_nets(), 0);
+}
+
 void Simulator::record_stats() {
   if (has_prev_) {
     for (std::size_t n = 0; n < value_.size(); ++n) {
       std::uint64_t diff = value_[n] ^ prev_[n];
-      stats_.toggles[n] += static_cast<std::uint64_t>(std::popcount(diff));
+      const auto pc = static_cast<std::uint32_t>(std::popcount(diff));
+      stats_.toggles[n] += pc;
+      if (sink_) sink_toggles_[n] = pc;
       if (!stats_.bit_toggles.empty()) {
         auto& bits = stats_.bit_toggles[n];
         while (diff) {
@@ -165,6 +173,10 @@ void Simulator::record_stats() {
   }
   for (std::size_t n = 0; n < value_.size(); ++n) {
     stats_.ones[n] += value_[n] & 1;
+  }
+  if (sink_) {
+    if (!has_prev_) std::fill(sink_toggles_.begin(), sink_toggles_.end(), 0);
+    sink_->on_cycle(nl_, cycle_, 1, sink_toggles_, value_.data());
   }
   for (std::size_t p = 0; p < probes_.size(); ++p) {
     const bool hold = pool_->eval(probes_[p], [&](BoolVar v) {

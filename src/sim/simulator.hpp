@@ -25,6 +25,8 @@
 
 namespace opiso {
 
+class CycleSink;
+
 class Simulator : public ProbeHost {
  public:
   /// The netlist must outlive the simulator and is validated here.
@@ -61,6 +63,12 @@ class Simulator : public ProbeHost {
   /// Stream a VCD waveform of all nets while running (null disables).
   void set_vcd(std::ostream* os) { vcd_ = os; }
 
+  /// Attach a per-cycle observer (null detaches). Each simulated cycle
+  /// the sink receives this cycle's per-net bit-toggle counts (zeros on
+  /// the first observed cycle) and the settled net values — attach
+  /// after warmup so the trace covers exactly what stats() covers.
+  void set_cycle_sink(CycleSink* sink);
+
   /// Collect per-bit toggle counts (needed by the dual-bit-type power
   /// models). Costs one pass over the set bits of each changed word.
   void enable_bit_stats();
@@ -87,6 +95,8 @@ class Simulator : public ProbeHost {
   bool has_prev_ = false;
   std::ostream* vcd_ = nullptr;
   bool vcd_header_written_ = false;
+  CycleSink* sink_ = nullptr;
+  std::vector<std::uint32_t> sink_toggles_;  ///< per net, this cycle
 };
 
 }  // namespace opiso

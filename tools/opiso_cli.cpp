@@ -19,6 +19,9 @@
 //       --no-prelint (skip the per-task lint pre-flight)
 //   opiso report diff <a.json> <b.json>         tolerance-aware report diff
 //       [--tolerances FILE] [--subset]          exit 0 match, 1 diff, 2 usage
+//   opiso wave     <design> [options]           per-cycle power waveform
+//       --vcd out.vcd  --trace-power out.json  --window N  --compare-isolated
+//   opiso vcd-check <file.vcd>                  VCD round-trip validation
 //
 // Observability (any command): --trace FILE (Chrome-trace JSON),
 // --metrics FILE (metrics snapshot; for isolate: the full run report),
@@ -51,8 +54,12 @@
 #include "obs/report_diff.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
+#include "obs/vcd.hpp"
+#include "obs/wave.hpp"
 #include "opt/passes.hpp"
 #include "power/estimator.hpp"
+#include "power/power_trace.hpp"
+#include "sim/cycle_trace.hpp"
 #include "sim/parallel_sim.hpp"
 #include "sim/sweep.hpp"
 #include "verify/equiv.hpp"
@@ -131,13 +138,33 @@ using namespace opiso;
       "      --subset               A is an expected subset of B\n"
       "      exits 0 when the reports match, 1 with a per-field listing\n"
       "      when they diverge beyond tolerance, 2 on usage errors\n"
+      "  wave       <design>                  per-cycle power waveform (same\n"
+      "      measurement discipline as isolate, so totals match its\n"
+      "      power_before/after exactly); prints the toggle/energy heatmap:\n"
+      "      --trace-power FILE     write the opiso.power_trace/v1 waveform\n"
+      "                             (or opiso.wave_compare/v1 with\n"
+      "                             --compare-isolated); FILE '-' = stdout\n"
+      "      --vcd FILE             write an IEEE-1364 VCD of net values plus\n"
+      "                             per-cell energy/toggle signals (needs the\n"
+      "                             scalar engine)\n"
+      "      --window N             fold N cycles per waveform sample\n"
+      "                             (default 1; sums stay exact)\n"
+      "      --compare-isolated     run Algorithm 1, overlay the original and\n"
+      "                             isolated waveforms, and list the idle\n"
+      "                             intervals exploited with the energy\n"
+      "                             reclaimed in each\n"
+      "      also accepts the isolate options (--cycles/--style/--sim/...)\n"
+      "  vcd-check  <file.vcd>                parse and validate a VCD file\n"
+      "      (round-trip gate for the wave exporter; exit 1 on malformed VCD)\n"
       "\n"
       "power and isolate also accept --sim/--lanes to run their\n"
       "measurements on the 64-lane bit-parallel engine.\n"
       "\n"
       "observability (any command):\n"
       "  --trace FILE     write a Chrome-trace JSON timeline of the run\n"
-      "  --metrics FILE   write a metrics JSON snapshot\n"
+      "  --metrics FILE   write a metrics JSON snapshot; FILE '-' = stdout\n"
+      "                   (human output moves to stderr so stdout stays\n"
+      "                   one pipeable JSON document)\n"
       "                   (isolate: the full run report with per-iteration tables)\n"
       "  --profile FILE   write a collapsed-stack span profile (flamegraph.pl /\n"
       "                   speedscope input; implies tracing for the run)\n"
@@ -189,6 +216,10 @@ struct Args {
   std::uint64_t task_max_lane_cycles = 0;
   std::int64_t inject_failure = -1;  ///< task index to sabotage (testing aid)
   std::size_t bdd_budget = IsolationOptions{}.bdd_node_budget;
+  std::string vcd_path;
+  std::string trace_power_path;
+  std::uint64_t window = 1;
+  bool compare_isolated = false;
   bool json_errors = false;
   Severity fail_on = Severity::Error;
   std::vector<std::string> only_passes;
@@ -259,6 +290,15 @@ Args parse_args(int argc, char** argv) {
       args.task_max_lane_cycles = std::stoull(value());
     } else if (a == "--inject-failure") {
       args.inject_failure = static_cast<std::int64_t>(std::stoll(value()));
+    } else if (a == "--vcd") {
+      args.vcd_path = value();
+    } else if (a == "--trace-power") {
+      args.trace_power_path = value();
+    } else if (a == "--window") {
+      args.window = std::stoull(value());
+      if (args.window == 0) usage();
+    } else if (a == "--compare-isolated") {
+      args.compare_isolated = true;
     } else if (a == "--bdd-budget") {
       args.bdd_budget = static_cast<std::size_t>(std::stoull(value()));
     } else if (a == "--json-errors") {
@@ -290,12 +330,27 @@ void emit(const Args& args, const Netlist& nl) {
   }
 }
 
+// "-" writes the document to stdout (and nothing else: the "wrote ..."
+// chatter stays on stderr-only paths so stdout is pipeable JSON).
 void write_json_file(const std::string& path, const obs::JsonValue& doc) {
+  if (path == "-") {
+    doc.write(std::cout, 1);
+    std::cout << '\n';
+    return;
+  }
   std::ofstream os(path);
   if (!os) throw Error("cannot open '" + path + "' for writing");
   doc.write(os, 1);
   os << '\n';
   std::cerr << "wrote " << path << "\n";
+}
+
+/// Human-facing result stream of a command whose machine output may be
+/// routed to stdout: falls back to stderr whenever any JSON artifact
+/// targets "-" so stdout parses as one JSON document.
+std::ostream& human_out(const Args& args) {
+  const bool stdout_is_json = args.metrics_path == "-" || args.trace_power_path == "-";
+  return stdout_is_json ? std::cerr : std::cout;
 }
 
 // Observability artifacts (after the command has run, so counters and
@@ -383,7 +438,7 @@ int run_lint_cmd(const Args& args, bool& metrics_written) {
     SourceMap source_map;
     const Netlist nl = make_sweep_design(name, &source_map);
     const lint::LintReport report = lint::run_lint(nl, lint_options(args), &source_map);
-    lint::print_lint_text(std::cout, report, name);
+    lint::print_lint_text(human_out(args), report, name);
     if (report.fails(args.fail_on)) exit_code = 1;
     if (!args.metrics_path.empty()) reports.push_back(lint::build_lint_report(report));
   }
@@ -469,8 +524,8 @@ int run_sweep_cmd(const Args& args, bool& metrics_written) {
     if (outcome.failed(i)) continue;
     const SweepResult& r = outcome.results[i];
     total_lane_cycles += r.lane_cycles;
-    std::cout << r.design << " seed " << r.seed << ": toggles " << r.toggles << ", power "
-              << r.power_mw << " mW (" << r.lane_cycles << " lane-cycles)\n";
+    human_out(args) << r.design << " seed " << r.seed << ": toggles " << r.toggles << ", power "
+                    << r.power_mw << " mW (" << r.lane_cycles << " lane-cycles)\n";
   }
   // Failures go to stderr: stdout and the report stay deterministic
   // so CI can diff runs across --threads and --sim values.
@@ -515,6 +570,107 @@ IsolationOptions isolate_options(const Args& args) {
   return opt;
 }
 
+struct WaveCapture {
+  CycleTrace trace;
+  PowerTrace power;
+};
+
+/// Trace one measurement round under the *identical* discipline
+/// measure_activity uses inside run_operand_isolation (fresh engine,
+/// fresh seed-1 stimulus, same warmup and cycle split), so the captured
+/// waveform integrates to the same power the isolate command reports.
+/// The sink attaches after warmup: the trace covers exactly the cycles
+/// the aggregate statistics cover.
+WaveCapture capture_wave(const Netlist& nl, const IsolationOptions& opt, std::uint64_t window,
+                         bool record_values) {
+  CycleTrace trace(window, record_values);
+  if (opt.sim_engine == SimEngineKind::Parallel) {
+    ParallelSimulator sim(nl, opt.sim_lanes);
+    sim.set_stimulus(opt.lane_stimuli);
+    const std::uint64_t lanes = sim.lanes();
+    if (opt.warmup_cycles > 0) sim.warmup((opt.warmup_cycles + lanes - 1) / lanes);
+    sim.set_cycle_sink(&trace);
+    sim.run(std::max<std::uint64_t>(1, opt.sim_cycles / lanes));
+    sim.set_cycle_sink(nullptr);
+  } else {
+    Simulator sim(nl);
+    UniformStimulus stim(1);
+    if (opt.warmup_cycles > 0) sim.warmup(stim, opt.warmup_cycles);
+    sim.set_cycle_sink(&trace);
+    sim.run(stim, opt.sim_cycles);
+    sim.set_cycle_sink(nullptr);
+  }
+  trace.finish();
+  PowerTrace power = compute_power_trace(nl, trace, opt.power);
+  return {std::move(trace), std::move(power)};
+}
+
+int run_wave_cmd(const Args& args, const Netlist& design) {
+  if (!args.vcd_path.empty() && args.sim_engine == SimEngineKind::Parallel) {
+    std::cerr << "wave: --vcd needs net values, which only the scalar engine records\n";
+    usage();
+  }
+  const IsolationOptions opt = isolate_options(args);
+  std::ostream& out = human_out(args);
+  const char* engine = opt.sim_engine == SimEngineKind::Parallel ? "parallel" : "scalar";
+
+  const WaveCapture orig = capture_wave(design, opt, args.window, !args.vcd_path.empty());
+  // Bit-for-bit the power the isolate command would report as
+  // power_before_mw: same toggles, same cycle count, same estimator.
+  const double orig_mw =
+      PowerEstimator(opt.power).estimate(design, orig.trace.to_activity_stats()).total_mw;
+
+  if (!args.vcd_path.empty()) {
+    std::ofstream os(args.vcd_path);
+    if (!os) throw Error("cannot open '" + args.vcd_path + "' for writing");
+    obs::write_vcd(os, design, orig.trace, &orig.power);
+    std::cerr << "wrote " << args.vcd_path << "\n";
+  }
+
+  out << "wave: " << design.name() << " (" << engine << "): " << orig.power.lane_cycles()
+      << " lane-cycles in " << orig.power.num_samples() << " sample(s) (window " << args.window
+      << "), total " << orig.power.total_energy_fj << " fJ, " << orig_mw << " mW\n";
+
+  if (!args.compare_isolated) {
+    obs::write_heatmap_table(out, design, orig.power);
+    if (!args.trace_power_path.empty()) {
+      obs::JsonValue doc =
+          obs::build_power_trace_section(design, orig.power, design.name(), engine);
+      doc["estimator_total_mw"] = orig_mw;
+      write_json_file(args.trace_power_path, doc);
+    }
+    return 0;
+  }
+
+  // --compare-isolated: run Algorithm 1, retrace the transformed design
+  // under the identical discipline, and overlay the two waveforms.
+  const IsolationResult res = run_operand_isolation(
+      design, [] { return std::make_unique<UniformStimulus>(1); }, opt);
+  const WaveCapture iso = capture_wave(res.netlist, opt, args.window, false);
+  const double iso_mw =
+      PowerEstimator(opt.power).estimate(res.netlist, iso.trace.to_activity_stats()).total_mw;
+
+  obs::JsonValue doc = obs::build_wave_compare(design, orig.power, res.netlist, iso.power,
+                                               res.records, design.name());
+  doc["original_power_mw"] = orig_mw;
+  doc["isolated_power_mw"] = iso_mw;
+  doc["isolate_power_before_mw"] = res.power_before_mw;
+  doc["isolate_power_after_mw"] = res.power_after_mw;
+
+  out << "wave: isolated " << res.records.size() << " module(s); " << res.power_before_mw
+      << " -> " << res.power_after_mw << " mW (" << res.power_reduction_pct() << "% saved)\n";
+  for (const obs::JsonValue& iv : doc.at("idle_intervals").elements()) {
+    out << "  " << iv.at("name").as_string() << ": reclaimed " << iv.at("reclaimed_fj").as_int64()
+        << " fJ over " << iv.at("samples").as_uint64() << " sample(s)\n";
+  }
+  out << "  reclaimed " << doc.at("reclaimed_total_fj").as_int64() << " fJ total ("
+      << doc.at("reclaimed_in_intervals_fj").as_int64() << " fJ in "
+      << doc.at("idle_intervals").size() << " idle interval(s))\n";
+
+  if (!args.trace_power_path.empty()) write_json_file(args.trace_power_path, doc);
+  return 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 3) usage();
   const std::string cmd = argv[1];
@@ -542,6 +698,27 @@ int run(int argc, char** argv) {
     const int rc = run_lint_cmd(args, metrics_written);
     write_obs_artifacts(args, metrics_written);
     return rc;
+  }
+  if (cmd == "wave") {
+    // Before the shared load: wave accepts builtin design names
+    // (design1, design2, fig1) as well as files, like sweep.
+    const Netlist design = make_sweep_design(args.positional[0]);
+    const int rc = run_wave_cmd(args, design);
+    write_obs_artifacts(args, metrics_written);
+    return rc;
+  }
+  if (cmd == "vcd-check") {
+    // Operand is a VCD file, not a design.
+    if (args.positional.size() != 1) usage();
+    std::ifstream is(args.positional[0]);
+    if (!is) throw IoError("cannot open '" + args.positional[0] + "'");
+    const std::string text((std::istreambuf_iterator<char>(is)),
+                           std::istreambuf_iterator<char>());
+    const obs::VcdDocument doc = obs::parse_vcd(text);
+    std::cerr << "vcd-check: " << args.positional[0] << ": ok (" << doc.vars.size()
+              << " vars, " << doc.num_timestamps << " timestamps, " << doc.num_changes
+              << " changes)\n";
+    return 0;
   }
   const Netlist design = load_design(args.positional[0]);
 
