@@ -19,6 +19,7 @@ opiso_add_bench(bench_model_accuracy)
 opiso_add_bench(bench_baselines)
 opiso_add_bench(bench_power_models opiso_lower)
 opiso_add_bench(bench_scaling benchmark::benchmark)
+opiso_add_bench(bench_sweep)
 
 # Bench smoke: the two table benches run in well under a second, so CI
 # (and any local `ctest -L bench-smoke`) regenerates BENCH_table{1,2}.json
@@ -35,3 +36,18 @@ $<TARGET_FILE:opiso_cli> report diff ${CMAKE_SOURCE_DIR}/ci/golden/BENCH_table2.
 ${CMAKE_BINARY_DIR}/bench_json/BENCH_table2.json \
 --tolerances ${CMAKE_SOURCE_DIR}/ci/bench_tolerances.json --subset")
 set_tests_properties(bench_table_tolerances PROPERTIES TIMEOUT 300 LABELS bench-smoke)
+
+# Perf-trajectory artifact shape: regenerate BENCH_sweep.json and hold
+# its structure (schema, bench set, deterministic lane_cycles work
+# measure) to the committed ci/bench_baseline snapshot. Timing fields
+# are ignored here — the 10% wall-clock gate runs in the perf-trajectory
+# CI job against a rolling same-runner baseline, where the numbers are
+# actually comparable.
+add_test(NAME bench_sweep_structural
+         COMMAND sh -c "mkdir -p ${CMAKE_BINARY_DIR}/bench_json && \
+OPISO_BENCH_JSON_DIR=${CMAKE_BINARY_DIR}/bench_json $<TARGET_FILE:bench_sweep> && \
+$<TARGET_FILE:opiso_cli> report diff \
+${CMAKE_SOURCE_DIR}/ci/bench_baseline/BENCH_sweep.baseline.json \
+${CMAKE_BINARY_DIR}/bench_json/BENCH_sweep.json \
+--tolerances ${CMAKE_SOURCE_DIR}/ci/bench_baseline/sweep_structural_tolerances.json --subset")
+set_tests_properties(bench_sweep_structural PROPERTIES TIMEOUT 300 LABELS bench-smoke)

@@ -4,6 +4,7 @@
 #include "fsm/reachability.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/incremental.hpp"
 #include "sim/parallel_sim.hpp"
 
 #include <algorithm>
@@ -69,6 +70,21 @@ ActivityStats measure_activity(const Netlist& nl, const ExprPool* pool, const Ne
   return sim.stats();
 }
 
+/// Incremental session configured to mirror measure_activity's
+/// warmup/cycle split, so the full and incremental paths stay
+/// measurement-for-measurement comparable.
+std::unique_ptr<IncrementalSession> make_incremental_session(const StimulusFactory& stimuli,
+                                                             const IsolationOptions& opt) {
+  IncrementalConfig cfg;
+  cfg.engine = opt.sim_engine;
+  cfg.lanes = opt.sim_lanes;
+  cfg.warmup_cycles = opt.warmup_cycles;
+  cfg.sim_cycles = opt.sim_cycles;
+  cfg.tape_budget_bytes = opt.incremental_tape_budget_bytes;
+  cfg.verify_stimulus = opt.incremental_verify_stimulus;
+  return std::make_unique<IncrementalSession>(stimuli, opt.lane_stimuli, cfg);
+}
+
 }  // namespace
 
 double estimate_slack_after_isolation(const Netlist& nl, const DelayModel& dm,
@@ -131,6 +147,19 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
   bool pool_initialized = false;
   bool measured_before = false;
 
+  // One incremental session spans every measurement round of the run:
+  // iteration 0 records the frame tape, each later round (including the
+  // final measurement) replays only the dirty cone of the banks
+  // committed since — bit-identical statistics either way.
+  std::unique_ptr<IncrementalSession> session;
+  if (opt.incremental) session = make_incremental_session(stimuli, opt);
+  const auto measure = [&](const Netlist& design_now, const ExprPool* pool,
+                           const NetVarMap* vars,
+                           const std::function<void(ProbeHost&)>& register_on) {
+    if (session) return session->measure(design_now, pool, vars, register_on);
+    return measure_activity(design_now, pool, vars, stimuli, opt, register_on);
+  };
+
   for (int iteration = 0; iteration < opt.max_iterations; ++iteration) {
     OPISO_SPAN("isolate.iteration");
     obs::metrics().counter("isolate.iterations").add(1);
@@ -153,9 +182,8 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
 
     // Simulate: power estimate + all signal statistics (line 16).
     SavingsEstimator estimator(nl, pool, vars, cands, opt.power);
-    const ActivityStats stats = measure_activity(
-        nl, &pool, &vars, stimuli, opt,
-        [&estimator](ProbeHost& sim) { estimator.register_probes(sim); });
+    const ActivityStats stats =
+        measure(nl, &pool, &vars, [&estimator](ProbeHost& sim) { estimator.register_probes(sim); });
     const PowerBreakdown pb = PowerEstimator(opt.power).estimate(nl, stats);
     if (!measured_before) {
       result.power_before_mw = pb.total_mw;
@@ -291,7 +319,7 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
   // Final metrics on the transformed design.
   {
     OPISO_SPAN("isolate.final_measure");
-    const ActivityStats stats = measure_activity(nl, nullptr, nullptr, stimuli, opt, nullptr);
+    const ActivityStats stats = measure(nl, nullptr, nullptr, nullptr);
     result.power_after_mw = PowerEstimator(opt.power).estimate(nl, stats).total_mw;
   }
   if (!measured_before) {

@@ -185,8 +185,25 @@ class Differ {
     const double abs_tol = rule ? rule->abs_tol : 0.0;
     const double rel_tol = rule ? rule->rel_tol : 0.0;
     const double rel_allow = rel_tol * std::max(std::abs(av), std::abs(bv));
+    double allowed = std::max(abs_tol, rel_allow);
     if (delta > 0.0 && (delta <= abs_tol || delta <= rel_allow)) return;
-    report("value", a.dump(), b.dump(), delta, std::max(abs_tol, rel_allow));
+    // One-sided trajectory rules (baseline A vs fresh B): improvement
+    // is unbounded, only a regression beyond the margin is a diff.
+    if (rule && (rule->rel_increase >= 0.0 || rule->rel_decrease >= 0.0)) {
+      bool ok = true;
+      if (rule->rel_increase >= 0.0) {
+        const double margin = rule->rel_increase * std::abs(av);
+        if (bv > av + margin) ok = false;
+        allowed = std::max(allowed, margin);
+      }
+      if (rule->rel_decrease >= 0.0) {
+        const double margin = rule->rel_decrease * std::abs(av);
+        if (bv < av - margin) ok = false;
+        allowed = std::max(allowed, margin);
+      }
+      if (ok) return;
+    }
+    report("value", a.dump(), b.dump(), delta, allowed);
   }
 
   void compare_arrays(const JsonValue& a, const JsonValue& b) {
@@ -256,6 +273,8 @@ ToleranceSpec ToleranceSpec::parse(const JsonValue& doc) {
     if (r.contains("ignore")) rule.ignore = r.at("ignore").as_bool();
     if (r.contains("abs")) rule.abs_tol = r.at("abs").as_number();
     if (r.contains("rel")) rule.rel_tol = r.at("rel").as_number();
+    if (r.contains("rel_increase")) rule.rel_increase = r.at("rel_increase").as_number();
+    if (r.contains("rel_decrease")) rule.rel_decrease = r.at("rel_decrease").as_number();
     spec.add_rule(std::move(rule));
   }
   return spec;

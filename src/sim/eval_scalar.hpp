@@ -1,0 +1,87 @@
+#pragma once
+// Shared scalar cell-evaluation kernel.
+//
+// The full scalar Simulator and the incremental dirty-cone replay both
+// evaluate cells against a flat per-net value array; keeping the
+// per-kind semantics in one inline function makes the two paths
+// bit-identical by construction (the same discipline plane_program.hpp
+// provides for the lane-parallel engine and its cone replay).
+//
+// The caller masks the returned word to the output net's width and is
+// responsible for skipping PrimaryInput/PrimaryOutput cells (inputs are
+// driven by stimulus or tape; outputs drive no net).
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace opiso {
+
+/// Evaluate one cell on the settled `value` array. `state` is the
+/// cell's held word — read for Reg outputs, updated level-sensitively
+/// for Latch/IsoLatch. Returns the unmasked output word.
+inline std::uint64_t eval_scalar_cell(const Cell& c, const std::uint64_t* value,
+                                      std::uint64_t& state) {
+  auto in = [&](int p) { return value[c.ins[static_cast<std::size_t>(p)].value()]; };
+  switch (c.kind) {
+    case CellKind::PrimaryInput:  // excluded by the caller
+    case CellKind::PrimaryOutput:
+      return 0;
+    case CellKind::Constant:
+      return c.param;
+    case CellKind::Reg:
+      return state;
+    case CellKind::Add:
+      return in(0) + in(1);
+    case CellKind::Sub:
+      return in(0) - in(1);
+    case CellKind::Mul:
+      return in(0) * in(1);
+    case CellKind::Eq:
+      return in(0) == in(1) ? 1 : 0;
+    case CellKind::Lt:
+      return in(0) < in(1) ? 1 : 0;
+    case CellKind::Shl:
+      return c.param >= 64 ? 0 : in(0) << c.param;
+    case CellKind::Shr:
+      return c.param >= 64 ? 0 : in(0) >> c.param;
+    case CellKind::Not:
+      return ~in(0);
+    case CellKind::Buf:
+      return in(0);
+    case CellKind::And:
+      return in(0) & in(1);
+    case CellKind::Or:
+      return in(0) | in(1);
+    case CellKind::Xor:
+      return in(0) ^ in(1);
+    case CellKind::Nand:
+      return ~(in(0) & in(1));
+    case CellKind::Nor:
+      return ~(in(0) | in(1));
+    case CellKind::Xnor:
+      return ~(in(0) ^ in(1));
+    case CellKind::Mux2:
+      return (in(0) & 1) ? in(2) : in(1);
+    case CellKind::Latch:
+      // Transparent while EN = 1; holds otherwise (level-sensitive).
+      if (in(1) & 1) state = in(0);
+      return state;
+    case CellKind::IsoAnd:
+      return (in(1) & 1) ? in(0) : 0;
+    case CellKind::IsoOr:
+      return (in(1) & 1) ? in(0) : ~std::uint64_t{0};
+    case CellKind::IsoLatch:
+      if (in(1) & 1) state = in(0);
+      return state;
+  }
+  return 0;
+}
+
+/// The clock edge for one register: state <- D when EN bit 0 is set,
+/// reading the settled values (all registers sample concurrently).
+inline void clock_scalar_reg(const Cell& c, const std::uint64_t* value, std::uint64_t& state) {
+  if (value[c.ins[1].value()] & 1) state = value[c.ins[0].value()];
+}
+
+}  // namespace opiso

@@ -1,0 +1,141 @@
+#pragma once
+// Dirty-cone incremental re-simulation.
+//
+// The isolation loop (Algorithm 1) re-simulates the whole design after
+// every committed bank, yet one iteration changes only a handful of
+// cells: the rewired candidate, the inserted bank cells and the
+// synthesized activation logic. Every cell outside the *dirty cone* —
+// the forward closure of those changes over net fanouts, through
+// registers — provably replays the previous simulation cycle for
+// cycle, because its inputs see bit-identical values under the same
+// stimulus.
+//
+// An IncrementalSession exploits that: the first measurement round runs
+// the configured engine in full while recording a frame tape (the
+// settled per-net values — scalar — or the settled plane words —
+// lane-parallel — of every cycle, warmup included, via the engines'
+// FrameSink hook). Each later round diffs the evolved netlist against
+// the baseline (changed_cells), closes the diff into a dirty cone
+// (dirty_cone), and then replays the tape: per cycle it memcpys the
+// frame into the stable prefix of the value/plane array and re-evaluates
+// only the cone's cells — with the same kernels the engines use
+// (eval_scalar_cell / eval_plane_program), so cone values are
+// bit-identical to a full re-run by construction. Statistics partition
+// the same way: toggle/ones counters of nets outside the cone are
+// carried forward from the baseline ActivityStats; cone nets are
+// re-counted from the replay; probe counters (which change per round)
+// are always re-evaluated on the reconstructed state.
+//
+// Contract: the stimulus factories must be deterministic and
+// round-invariant — every call must yield the same value sequence (the
+// CLI's seeded factories do). Otherwise a full re-simulation would not
+// reproduce the tape either; verify_stimulus spot-checks the contract
+// on the scalar engine by re-drawing the stimulus during replay and
+// comparing primary-input values against the tape.
+//
+// Fallbacks are silent and safe: a tape exceeding tape_budget_bytes, a
+// netlist evolution changed_cells cannot express, or a verify mismatch
+// all disable the session's incremental path, and every round simply
+// runs the full engine (counted in sim.incremental.* metrics).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "boolfn/expr.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/activity.hpp"
+#include "sim/engine.hpp"
+#include "sim/stimulus.hpp"
+
+namespace opiso {
+
+class CycleSink;
+
+struct IncrementalConfig {
+  SimEngineKind engine = SimEngineKind::Scalar;
+  /// Lanes of the parallel engine (ignored by the scalar engine).
+  unsigned lanes = 64;
+  /// Total warmup / measured lane-cycles; the parallel engine splits
+  /// them across its lanes exactly as the isolation loop does.
+  std::uint64_t warmup_cycles = 32;
+  std::uint64_t sim_cycles = 4096;
+  /// Frame-tape memory ceiling. A run whose tape would exceed it is not
+  /// captured and the session measures in full every round.
+  std::size_t tape_budget_bytes = std::size_t{256} << 20;
+  /// Re-draw the stimulus during scalar replay and compare primary
+  /// inputs against the tape (detects non-round-invariant factories).
+  bool verify_stimulus = false;
+  /// Collect per-bit toggle statistics in every round.
+  bool bit_stats = false;
+};
+
+class IncrementalSession {
+ public:
+  using StimulusFactory = std::function<std::unique_ptr<Stimulus>()>;
+  using LaneStimulusFactory = std::function<std::unique_ptr<Stimulus>(unsigned lane)>;
+
+  /// `stimuli` drives the scalar engine, `lane_stimuli` the parallel
+  /// one; only the factory matching cfg.engine is required.
+  IncrementalSession(StimulusFactory stimuli, LaneStimulusFactory lane_stimuli,
+                     IncrementalConfig cfg);
+
+  /// One measurement round over `nl`, which must be the baseline
+  /// netlist or an append-only evolution of it (the isolation
+  /// transform's guarantee). `register_on` registers this round's
+  /// probes (ExprRefs in `pool` over `vars`); `sink` observes the
+  /// measured cycles' per-net toggle counts exactly as if attached to
+  /// the full engine after warmup. Returns statistics bit-identical to
+  /// a full engine run with the same configuration.
+  ActivityStats measure(const Netlist& nl, const ExprPool* pool, const NetVarMap* vars,
+                        const std::function<void(ProbeHost&)>& register_on = nullptr,
+                        CycleSink* sink = nullptr);
+
+  // -- introspection (tests, reports, docs) --------------------------------
+  /// True once a baseline tape is in place and replays are possible.
+  [[nodiscard]] bool incremental_available() const { return have_baseline_ && !disabled_; }
+  [[nodiscard]] std::uint64_t full_runs() const { return full_runs_; }
+  [[nodiscard]] std::uint64_t replays() const { return replays_; }
+  /// Cone size of the most recent replay (cells).
+  [[nodiscard]] std::size_t last_cone_cells() const { return last_cone_cells_; }
+  [[nodiscard]] std::size_t tape_bytes() const { return tape_.size() * sizeof(std::uint64_t); }
+
+ private:
+  ActivityStats full_measure_with_probes(const Netlist& nl, const ExprPool* pool,
+                                         const NetVarMap* vars,
+                                         const std::vector<ExprRef>& probes, CycleSink* sink);
+  ActivityStats replay_scalar(const Netlist& nl, const ExprPool* pool, const NetVarMap* vars,
+                              const std::vector<ExprRef>& probes, CycleSink* sink,
+                              const std::vector<CellId>& cone);
+  ActivityStats replay_parallel(const Netlist& nl, const ExprPool* pool, const NetVarMap* vars,
+                                const std::vector<ExprRef>& probes, CycleSink* sink,
+                                const std::vector<CellId>& cone);
+  /// Merge replayed counters (dirty nets) with baseline counters.
+  ActivityStats assemble(const Netlist& nl, const std::vector<bool>& dirty,
+                         ActivityStats&& replayed) const;
+
+  StimulusFactory stimuli_;
+  LaneStimulusFactory lane_stimuli_;
+  IncrementalConfig cfg_;
+
+  // Frame counts of one measurement round (macro-cycles for the
+  // parallel engine), fixed by cfg_ — mirrors the isolation loop's
+  // warmup/cycles split so full and incremental rounds line up.
+  std::uint64_t warmup_frames_ = 0;
+  std::uint64_t measured_frames_ = 0;
+
+  bool have_baseline_ = false;
+  bool disabled_ = false;  ///< permanent fallback (budget / verify failure)
+  std::optional<Netlist> base_;        ///< baseline netlist (tape's shape)
+  ActivityStats base_stats_;           ///< baseline per-net counters
+  std::vector<std::uint64_t> tape_;    ///< frames_ x frame_words_
+  std::size_t frame_words_ = 0;
+
+  std::uint64_t full_runs_ = 0;
+  std::uint64_t replays_ = 0;
+  std::size_t last_cone_cells_ = 0;
+};
+
+}  // namespace opiso

@@ -1,5 +1,6 @@
 #include "sim/parallel_sim.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 
@@ -11,16 +12,31 @@
 
 namespace opiso {
 
-// Lane-plane invariant: every stored plane is masked to lane_mask_, so
-// inactive-lane bits are always 0 and popcount-based statistics never
-// see them. Bitwise NOT must therefore re-apply the mask.
+// Lane-plane invariant: every stored plane word is masked to the
+// active-lane mask block, so inactive-lane bits are always 0 and
+// popcount-based statistics never see them. Bitwise NOT must therefore
+// re-apply the mask.
+
+namespace {
+constexpr unsigned K = kPlaneWords;
+}  // namespace
 
 ParallelSimulator::ParallelSimulator(const Netlist& nl, unsigned lanes, const ExprPool* pool,
                                      const NetVarMap* vars)
     : nl_(nl), pool_(pool), vars_(vars), lanes_(lanes) {
-  OPISO_REQUIRE(lanes >= 1 && lanes <= kMaxLanes, "ParallelSimulator: lanes must be in [1,64]");
+  OPISO_REQUIRE(lanes >= 1 && lanes <= kMaxLanes,
+                "ParallelSimulator: lanes must be in [1," + std::to_string(kMaxLanes) + "]");
   nl_.validate();
-  lane_mask_ = lanes_ >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << lanes_) - 1);
+  for (unsigned k = 0; k < K; ++k) {
+    const unsigned lo = 64 * k;
+    if (lanes_ >= lo + 64) {
+      lane_mask_[k] = ~std::uint64_t{0};
+    } else if (lanes_ > lo) {
+      lane_mask_[k] = (std::uint64_t{1} << (lanes_ - lo)) - 1;
+    } else {
+      lane_mask_[k] = 0;
+    }
+  }
   order_ = topological_order(nl_);
 
   plane_off_.resize(nl_.num_nets());
@@ -29,8 +45,8 @@ ParallelSimulator::ParallelSimulator(const Netlist& nl, unsigned lanes, const Ex
     plane_off_[id.value()] = planes;
     planes += nl_.net(id).width;
   }
-  planes_.assign(planes, 0);
-  prev_.assign(planes, 0);
+  planes_.assign(planes * K, 0);
+  prev_.assign(planes * K, 0);
 
   state_off_.resize(nl_.num_cells());
   std::size_t state_planes = 0;
@@ -39,7 +55,9 @@ ParallelSimulator::ParallelSimulator(const Netlist& nl, unsigned lanes, const Ex
     state_off_[id.value()] = state_planes;
     if (c.kind == CellKind::Reg || cell_kind_is_latch(c.kind)) state_planes += c.width;
   }
-  state_.assign(state_planes, 0);
+  state_.assign(state_planes * K, 0);
+
+  program_ = build_plane_program(nl_, order_, plane_off_, state_off_);
 
   stats_.toggles.assign(nl_.num_nets(), 0);
   stats_.ones.assign(nl_.num_nets(), 0);
@@ -53,7 +71,7 @@ std::size_t ParallelSimulator::add_probe(ExprRef expr) {
     OPISO_REQUIRE(net.value() < nl_.num_nets(), "probe variable bound to foreign net");
   }
   probes_.push_back(expr);
-  prev_probe_.push_back(0);
+  prev_probe_.insert(prev_probe_.end(), K, 0);
   stats_.probe_true.push_back(0);
   stats_.probe_toggles.push_back(0);
   return probes_.size() - 1;
@@ -67,6 +85,36 @@ void ParallelSimulator::set_stimulus(const LaneStimulusFactory& make) {
     lane_stims_.push_back(make(l));
     OPISO_REQUIRE(lane_stims_.back() != nullptr,
                   "ParallelSimulator: stimulus factory returned null");
+  }
+  // SoA fast path: when every lane is a plain uniform generator, gather
+  // the per-lane xoshiro states into four parallel arrays so one loop
+  // advances all lanes (identical sequences, computed blockwise).
+  uniform_fast_ = true;
+  for (const auto& s : lane_stims_) {
+    if (s->uniform_rng() == nullptr) {
+      uniform_fast_ = false;
+      break;
+    }
+  }
+  if (uniform_fast_) {
+    lanes_padded_ = (lanes_ + 7) & ~std::size_t{7};
+    // Padding lanes hold the all-zero xoshiro state, whose output is
+    // identically zero — they never contaminate real lanes' planes.
+    rng_soa_.assign(4 * lanes_padded_, 0);
+    for (unsigned l = 0; l < lanes_; ++l) {
+      const std::array<std::uint64_t, 4> st = lane_stims_[l]->uniform_rng()->state();
+      for (unsigned i = 0; i < 4; ++i) rng_soa_[i * lanes_padded_ + l] = st[i];
+    }
+    pi_masks_.clear();
+    for (CellId pi : nl_.primary_inputs()) {
+      const unsigned w = nl_.cell(pi).width;
+      pi_masks_.push_back(w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1));
+    }
+    uniform_buf_.assign(pi_masks_.size() * lanes_padded_, 0);
+  } else {
+    rng_soa_.clear();
+    pi_masks_.clear();
+    uniform_buf_.clear();
   }
 }
 
@@ -92,6 +140,45 @@ inline std::uint64_t transpose8x8(std::uint64_t x) {
   return x;
 }
 
+inline std::uint64_t rotl64(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+/// N consecutive xoshiro256** draws per lane, all lanes in one pass:
+/// draw p of lane l lands in out[p * stride + l], masked to masks[p].
+/// N is a template parameter so the draw loop fully unrolls and the
+/// lane loop body is straight-line — the compiler then vectorizes over
+/// lanes with the four state words held in registers across all N
+/// draws, instead of spilling them between draws. The multiplies by 5
+/// and 9 are written as shift-adds so the loop vectorizes on ISAs
+/// without a 64-bit vector multiply.
+template <unsigned N>
+void uniform_draws(std::uint64_t* __restrict s0, std::uint64_t* __restrict s1,
+                   std::uint64_t* __restrict s2, std::uint64_t* __restrict s3, std::size_t n,
+                   const std::uint64_t* __restrict masks, std::uint64_t* __restrict out,
+                   std::size_t stride) {
+  for (std::size_t l = 0; l < n; ++l) {
+    std::uint64_t a = s0[l];
+    std::uint64_t b = s1[l];
+    std::uint64_t c = s2[l];
+    std::uint64_t d = s3[l];
+    for (unsigned p = 0; p < N; ++p) {
+      const std::uint64_t b5 = (b << 2) + b;
+      const std::uint64_t r7 = rotl64(b5, 7);
+      out[p * stride + l] = ((r7 << 3) + r7) & masks[p];
+      const std::uint64_t t = b << 17;
+      c ^= a;
+      d ^= b;
+      b ^= c;
+      a ^= d;
+      c ^= t;
+      d = rotl64(d, 45);
+    }
+    s0[l] = a;
+    s1[l] = b;
+    s2[l] = c;
+    s3[l] = d;
+  }
+}
+
 }  // namespace
 
 void ParallelSimulator::drive_inputs() {
@@ -101,242 +188,133 @@ void ParallelSimulator::drive_inputs() {
   // gathered first and transposed in 8x8 bit blocks: the blocked form
   // runs in O(width) per 8 lanes instead of O(width) per lane, and
   // drive_inputs is the one per-lane (non-amortized) stage of the
-  // macro-cycle, so this is the engine's throughput ceiling.
+  // macro-cycle, so it is the engine's throughput ceiling.
   std::uint64_t tmp[kMaxLanes];
+  const unsigned groups = (lanes_ + 7) / 8;
+  if (uniform_fast_) {
+    // All this cycle's draws for all PIs in one pass over the SoA
+    // state arrays, in chunks of up to 8 draws per pass — within a
+    // chunk the lane states live in registers, so the per-draw cost is
+    // the xoshiro arithmetic plus one store. Per lane, draw order is
+    // PI insertion order: exactly the call sequence the scalar
+    // simulator issues, so lane l's stream replays scalar run l.
+    std::uint64_t* const s0 = rng_soa_.data();
+    std::uint64_t* const s1 = s0 + lanes_padded_;
+    std::uint64_t* const s2 = s1 + lanes_padded_;
+    std::uint64_t* const s3 = s2 + lanes_padded_;
+    const std::size_t n = lanes_padded_;
+    std::size_t p = 0;
+    while (p < pi_masks_.size()) {
+      const std::uint64_t* const masks = pi_masks_.data() + p;
+      std::uint64_t* const out = uniform_buf_.data() + p * n;
+      // Chunks are capped at 4 draws: larger unrolled bodies exceed the
+      // vector register budget and the compiler spills the lane states,
+      // costing more than the chunking saves.
+      switch (std::min<std::size_t>(pi_masks_.size() - p, 4)) {
+        case 4: uniform_draws<4>(s0, s1, s2, s3, n, masks, out, n); p += 4; break;
+        case 3: uniform_draws<3>(s0, s1, s2, s3, n, masks, out, n); p += 3; break;
+        case 2: uniform_draws<2>(s0, s1, s2, s3, n, masks, out, n); p += 2; break;
+        default: uniform_draws<1>(s0, s1, s2, s3, n, masks, out, n); p += 1; break;
+      }
+    }
+  }
+  std::size_t pi_index = 0;
   for (CellId pi : nl_.primary_inputs()) {
     const Cell& c = nl_.cell(pi);
     const unsigned width = c.width;
-    const std::size_t off = plane_off_[c.out.value()];
-    const std::uint64_t wmask =
-        width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
-    for (unsigned l = 0; l < lanes_; ++l) {
-      tmp[l] = lane_stims_[l]->next(nl_, pi, cycle_) & wmask;
+    const std::size_t off = plane_off_[c.out.value()] * K;
+    const std::uint64_t* lane_words;
+    if (uniform_fast_) {
+      lane_words = uniform_buf_.data() + pi_index * lanes_padded_;
+    } else {
+      const std::uint64_t wmask =
+          width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+      for (unsigned l = 0; l < lanes_; ++l) {
+        tmp[l] = lane_stims_[l]->next(nl_, pi, cycle_) & wmask;
+      }
+      for (unsigned l = lanes_; l < 8 * groups; ++l) tmp[l] = 0;
+      lane_words = tmp;
     }
-    for (unsigned l = lanes_; l < kMaxLanes; ++l) tmp[l] = 0;
-    for (unsigned b = 0; b < width; ++b) planes_[off + b] = 0;
-    for (unsigned g = 0; g < kMaxLanes / 8; ++g) {        // lane group g: lanes 8g..8g+7
-      for (unsigned cb = 0; cb * 8 < width; ++cb) {       // byte column cb: bits 8cb..8cb+7
-        std::uint64_t x = 0;
-        for (unsigned i = 0; i < 8; ++i) {
-          x |= ((tmp[8 * g + i] >> (8 * cb)) & 0xFF) << (8 * i);
-        }
-        if (x == 0) continue;
-        x = transpose8x8(x);  // byte j now holds bit 8cb+j of the 8 lanes
-        const unsigned bits = std::min(8u, width - 8 * cb);
-        for (unsigned j = 0; j < bits; ++j) {
-          planes_[off + 8 * cb + j] |= ((x >> (8 * j)) & 0xFF) << (8 * g);
-        }
+    ++pi_index;
+    for (unsigned b = 0; b < width * K; ++b) planes_[off + b] = 0;
+    // The transposition is phrased as three flat loops — truncating
+    // byte pack, delta-swap rounds over all groups, byte scatter — so
+    // each vectorizes over the group dimension instead of handling one
+    // 8-lane group at a time. Group g's word lands in byte g of the
+    // destination plane's word array; that byte view of a little-endian
+    // word array IS the lane order (group g = word g/8, byte g%8), so
+    // the scatter is contiguous byte stores. Big-endian hosts take the
+    // shift-or scatter instead.
+    std::uint64_t xg[kMaxLanes / 8];
+    for (unsigned cb = 0; cb * 8 < width; ++cb) {  // byte column cb: bits 8cb..8cb+7
+      std::uint8_t* const pb = reinterpret_cast<std::uint8_t*>(xg);
+      for (unsigned l = 0; l < 8 * groups; ++l) {
+        pb[l] = static_cast<std::uint8_t>(lane_words[l] >> (8 * cb));
       }
-    }
-  }
-}
-
-void ParallelSimulator::settle_combinational() {
-  const std::uint64_t ones = lane_mask_;
-  for (CellId id : order_) {
-    const Cell& c = nl_.cell(id);
-    if (c.kind == CellKind::PrimaryInput || c.kind == CellKind::PrimaryOutput) continue;
-    const unsigned w = c.width;
-    std::uint64_t* out = &planes_[plane_off_[c.out.value()]];
-    switch (c.kind) {
-      case CellKind::PrimaryInput:
-      case CellKind::PrimaryOutput:
-        break;
-      case CellKind::Constant:
-        for (unsigned b = 0; b < w; ++b) out[b] = ((c.param >> b) & 1) ? ones : 0;
-        break;
-      case CellKind::Reg: {
-        const std::uint64_t* st = &state_[state_off_[id.value()]];
-        for (unsigned b = 0; b < w; ++b) out[b] = st[b];
-        break;
-      }
-      case CellKind::Add: {
-        std::uint64_t carry = 0;
-        for (unsigned b = 0; b < w; ++b) {
-          const std::uint64_t a = plane(c.ins[0], b);
-          const std::uint64_t bb = plane(c.ins[1], b);
-          const std::uint64_t axb = a ^ bb;
-          out[b] = axb ^ carry;
-          carry = (a & bb) | (carry & axb);
-        }
-        break;
-      }
-      case CellKind::Sub: {
-        // a - b == a + ~b + 1: carry starts at all-ones; ~b is taken on
-        // the width-masked value, so planes past b's width become ones —
-        // exactly the scalar 64-bit two's-complement pattern.
-        std::uint64_t carry = ones;
-        for (unsigned b = 0; b < w; ++b) {
-          const std::uint64_t a = plane(c.ins[0], b);
-          const std::uint64_t bb = ~plane(c.ins[1], b) & ones;
-          const std::uint64_t axb = a ^ bb;
-          out[b] = axb ^ carry;
-          carry = (a & bb) | (carry & axb);
-        }
-        break;
-      }
-      case CellKind::Mul: {
-        // Shift-and-add over bit planes (mod 2^w, like the scalar path).
-        const unsigned wa = nl_.net(c.ins[0]).width;
-        const unsigned wb = nl_.net(c.ins[1]).width;
-        for (unsigned b = 0; b < w; ++b) out[b] = 0;
-        for (unsigned j = 0; j < wb && j < w; ++j) {
-          const std::uint64_t bj = plane(c.ins[1], j);
-          if (bj == 0) continue;
-          std::uint64_t carry = 0;
-          for (unsigned k = 0; j + k < w; ++k) {
-            const std::uint64_t p = (k < wa ? plane(c.ins[0], k) : 0) & bj;
-            const std::uint64_t cur = out[j + k];
-            const std::uint64_t cxp = cur ^ p;
-            out[j + k] = cxp ^ carry;
-            carry = (cur & p) | (carry & cxp);
-            if (carry == 0 && k >= wa) break;  // nothing left to propagate
+      // byte j of xg[g] now holds bit 8cb+j of lanes 8g..8g+7
+      for (unsigned g = 0; g < groups; ++g) xg[g] = transpose8x8(xg[g]);
+      const unsigned bits = std::min(8u, width - 8 * cb);
+      for (unsigned j = 0; j < bits; ++j) {
+        std::uint64_t* const dst = &planes_[off + (8 * cb + j) * K];
+        if constexpr (std::endian::native == std::endian::little) {
+          std::uint8_t* const out = reinterpret_cast<std::uint8_t*>(dst);
+          for (unsigned g = 0; g < groups; ++g) {
+            out[g] = static_cast<std::uint8_t>(xg[g] >> (8 * j));
+          }
+        } else {
+          for (unsigned g = 0; g < groups; ++g) {
+            dst[g / 8] |= ((xg[g] >> (8 * j)) & 0xFF) << (8 * (g % 8));
           }
         }
-        break;
-      }
-      case CellKind::Eq: {
-        const unsigned wmax = std::max(nl_.net(c.ins[0]).width, nl_.net(c.ins[1]).width);
-        std::uint64_t eq = ones;
-        for (unsigned b = 0; b < wmax; ++b) {
-          eq &= ~(plane(c.ins[0], b) ^ plane(c.ins[1], b)) & ones;
-        }
-        out[0] = eq;
-        break;
-      }
-      case CellKind::Lt: {
-        // LSB-to-MSB scan: lt_b = (!a_b & b_b) | (a_b == b_b) & lt_{b-1}.
-        const unsigned wmax = std::max(nl_.net(c.ins[0]).width, nl_.net(c.ins[1]).width);
-        std::uint64_t lt = 0;
-        for (unsigned b = 0; b < wmax; ++b) {
-          const std::uint64_t a = plane(c.ins[0], b);
-          const std::uint64_t bb = plane(c.ins[1], b);
-          lt = ((~a & ones) & bb) | ((~(a ^ bb) & ones) & lt);
-        }
-        out[0] = lt;
-        break;
-      }
-      case CellKind::Shl:
-        for (unsigned b = 0; b < w; ++b) {
-          out[b] = (c.param <= b && c.param < 64) ? plane(c.ins[0], b - static_cast<unsigned>(c.param)) : 0;
-        }
-        break;
-      case CellKind::Shr:
-        for (unsigned b = 0; b < w; ++b) {
-          out[b] = c.param < 64 ? plane(c.ins[0], b + static_cast<unsigned>(c.param)) : 0;
-        }
-        break;
-      case CellKind::Not:
-        for (unsigned b = 0; b < w; ++b) out[b] = ~plane(c.ins[0], b) & ones;
-        break;
-      case CellKind::Buf:
-        for (unsigned b = 0; b < w; ++b) out[b] = plane(c.ins[0], b);
-        break;
-      case CellKind::And:
-        for (unsigned b = 0; b < w; ++b) out[b] = plane(c.ins[0], b) & plane(c.ins[1], b);
-        break;
-      case CellKind::Or:
-        for (unsigned b = 0; b < w; ++b) out[b] = plane(c.ins[0], b) | plane(c.ins[1], b);
-        break;
-      case CellKind::Xor:
-        for (unsigned b = 0; b < w; ++b) out[b] = plane(c.ins[0], b) ^ plane(c.ins[1], b);
-        break;
-      case CellKind::Nand:
-        for (unsigned b = 0; b < w; ++b) {
-          out[b] = ~(plane(c.ins[0], b) & plane(c.ins[1], b)) & ones;
-        }
-        break;
-      case CellKind::Nor:
-        for (unsigned b = 0; b < w; ++b) {
-          out[b] = ~(plane(c.ins[0], b) | plane(c.ins[1], b)) & ones;
-        }
-        break;
-      case CellKind::Xnor:
-        for (unsigned b = 0; b < w; ++b) {
-          out[b] = ~(plane(c.ins[0], b) ^ plane(c.ins[1], b)) & ones;
-        }
-        break;
-      case CellKind::Mux2: {
-        const std::uint64_t sel = plane(c.ins[0], 0);
-        const std::uint64_t nsel = ~sel & ones;
-        for (unsigned b = 0; b < w; ++b) {
-          out[b] = (sel & plane(c.ins[2], b)) | (nsel & plane(c.ins[1], b));
-        }
-        break;
-      }
-      case CellKind::Latch:
-      case CellKind::IsoLatch: {
-        // Transparent per lane while EN = 1; holds otherwise.
-        const std::uint64_t en = plane(c.ins[1], 0);
-        const std::uint64_t nen = ~en & ones;
-        std::uint64_t* st = &state_[state_off_[id.value()]];
-        for (unsigned b = 0; b < w; ++b) {
-          st[b] = (en & plane(c.ins[0], b)) | (nen & st[b]);
-          out[b] = st[b];
-        }
-        break;
-      }
-      case CellKind::IsoAnd: {
-        const std::uint64_t en = plane(c.ins[1], 0);
-        for (unsigned b = 0; b < w; ++b) out[b] = en & plane(c.ins[0], b);
-        break;
-      }
-      case CellKind::IsoOr: {
-        const std::uint64_t en = plane(c.ins[1], 0);
-        const std::uint64_t nen = ~en & ones;
-        for (unsigned b = 0; b < w; ++b) out[b] = (en & plane(c.ins[0], b)) | nen;
-        break;
       }
     }
   }
 }
 
-void ParallelSimulator::clock_registers() {
-  const std::uint64_t ones = lane_mask_;
-  for (CellId id : order_) {
-    const Cell& c = nl_.cell(id);
-    if (c.kind != CellKind::Reg) continue;
-    const std::uint64_t en = plane(c.ins[1], 0);
-    const std::uint64_t nen = ~en & ones;
-    std::uint64_t* st = &state_[state_off_[id.value()]];
-    for (unsigned b = 0; b < c.width; ++b) {
-      st[b] = (en & plane(c.ins[0], b)) | (nen & st[b]);
-    }
-  }
-}
-
-std::uint64_t ParallelSimulator::eval_expr_lanes(ExprRef r) {
+void ParallelSimulator::eval_expr_lanes(ExprRef r, std::uint64_t* out) {
   const std::size_t idx = r.value();
-  if (idx < expr_val_.size() && expr_gen_[idx] == gen_) return expr_val_[idx];
+  if (idx * K < expr_val_.size() && expr_gen_[idx] == gen_) {
+    for (unsigned k = 0; k < K; ++k) out[k] = expr_val_[idx * K + k];
+    return;
+  }
   const ExprNode& n = pool_->node(r);
-  std::uint64_t v = 0;
+  std::uint64_t v[K] = {};
+  std::uint64_t tmp_b[K];
   switch (n.op) {
     case ExprOp::Const0:
-      v = 0;
       break;
     case ExprOp::Const1:
-      v = lane_mask_;
+      for (unsigned k = 0; k < K; ++k) v[k] = lane_mask_[k];
       break;
-    case ExprOp::Var:
-      v = planes_[plane_off_[vars_->net_of(n.var).value()]];  // plane 0 = bit 0
+    case ExprOp::Var: {
+      const std::size_t off = plane_off_[vars_->net_of(n.var).value()] * K;  // plane 0 = bit 0
+      for (unsigned k = 0; k < K; ++k) v[k] = planes_[off + k];
       break;
+    }
     case ExprOp::Not:
-      v = ~eval_expr_lanes(n.a) & lane_mask_;
+      eval_expr_lanes(n.a, v);
+      for (unsigned k = 0; k < K; ++k) v[k] = ~v[k] & lane_mask_[k];
       break;
     case ExprOp::And:
-      v = eval_expr_lanes(n.a) & eval_expr_lanes(n.b);
+      eval_expr_lanes(n.a, v);
+      eval_expr_lanes(n.b, tmp_b);
+      for (unsigned k = 0; k < K; ++k) v[k] &= tmp_b[k];
       break;
     case ExprOp::Or:
-      v = eval_expr_lanes(n.a) | eval_expr_lanes(n.b);
+      eval_expr_lanes(n.a, v);
+      eval_expr_lanes(n.b, tmp_b);
+      for (unsigned k = 0; k < K; ++k) v[k] |= tmp_b[k];
       break;
   }
-  if (idx >= expr_val_.size()) {
-    expr_val_.resize(pool_->num_nodes(), 0);
+  if (idx * K >= expr_val_.size()) {
+    expr_val_.resize(pool_->num_nodes() * K, 0);
     expr_gen_.resize(pool_->num_nodes(), 0);
   }
-  expr_val_[idx] = v;
+  for (unsigned k = 0; k < K; ++k) {
+    expr_val_[idx * K + k] = v[k];
+    out[k] = v[k];
+  }
   expr_gen_[idx] = gen_;
-  return v;
 }
 
 void ParallelSimulator::set_cycle_sink(CycleSink* sink) {
@@ -349,19 +327,26 @@ void ParallelSimulator::record_stats() {
   for (NetId id : nl_.net_ids()) {
     const std::size_t n = id.value();
     const unsigned width = nl_.net(id).width;
-    const std::size_t off = plane_off_[n];
+    const std::size_t off = plane_off_[n] * K;
     if (has_prev_) {
       std::uint64_t total = 0;
       for (unsigned b = 0; b < width; ++b) {
-        const std::uint64_t diff = planes_[off + b] ^ prev_[off + b];
-        const auto pc = static_cast<std::uint64_t>(std::popcount(diff));
+        std::uint64_t pc = 0;
+        for (unsigned k = 0; k < K; ++k) {
+          pc += static_cast<std::uint64_t>(
+              std::popcount(planes_[off + b * K + k] ^ prev_[off + b * K + k]));
+        }
         total += pc;
         if (bits) stats_.bit_toggles[n][b] += pc;
       }
       stats_.toggles[n] += total;
       if (sink_) sink_toggles_[n] = static_cast<std::uint32_t>(total);
     }
-    stats_.ones[n] += static_cast<std::uint64_t>(std::popcount(planes_[off]));
+    std::uint64_t ones_pc = 0;
+    for (unsigned k = 0; k < K; ++k) {
+      ones_pc += static_cast<std::uint64_t>(std::popcount(planes_[off + k]));
+    }
+    stats_.ones[n] += ones_pc;
   }
   if (sink_) {
     if (!has_prev_) std::fill(sink_toggles_.begin(), sink_toggles_.end(), 0);
@@ -369,14 +354,18 @@ void ParallelSimulator::record_stats() {
   }
   if (!probes_.empty()) {
     ++gen_;
+    std::uint64_t hold[K];
     for (std::size_t p = 0; p < probes_.size(); ++p) {
-      const std::uint64_t hold = eval_expr_lanes(probes_[p]);
-      stats_.probe_true[p] += static_cast<std::uint64_t>(std::popcount(hold));
-      if (has_prev_) {
-        stats_.probe_toggles[p] +=
-            static_cast<std::uint64_t>(std::popcount(hold ^ prev_probe_[p]));
+      eval_expr_lanes(probes_[p], hold);
+      std::uint64_t pc_true = 0;
+      std::uint64_t pc_tog = 0;
+      for (unsigned k = 0; k < K; ++k) {
+        pc_true += static_cast<std::uint64_t>(std::popcount(hold[k]));
+        pc_tog += static_cast<std::uint64_t>(std::popcount(hold[k] ^ prev_probe_[p * K + k]));
+        prev_probe_[p * K + k] = hold[k];
       }
-      prev_probe_[p] = hold;
+      stats_.probe_true[p] += pc_true;
+      if (has_prev_) stats_.probe_toggles[p] += pc_tog;
     }
   }
   stats_.cycles += lanes_;
@@ -393,9 +382,10 @@ void ParallelSimulator::run(std::uint64_t cycles) {
     // than a copy; planes_ keeps the final values once run() returns.
     if (has_prev_) std::swap(prev_, planes_);
     drive_inputs();
-    settle_combinational();
+    eval_plane_program(program_, planes_.data(), state_.data(), lane_mask_.data());
+    if (frame_sink_) frame_sink_->on_frame(cycle_, planes_.data(), planes_.size());
     record_stats();
-    clock_registers();
+    clock_plane_program(program_, planes_.data(), state_.data());
     has_prev_ = true;
     ++cycle_;
   }
@@ -428,10 +418,12 @@ std::uint64_t ParallelSimulator::lane_value(NetId net, unsigned lane) const {
   OPISO_REQUIRE(net.valid() && net.value() < nl_.num_nets(), "lane_value: invalid net");
   OPISO_REQUIRE(lane < lanes_, "lane_value: lane out of range");
   const unsigned width = nl_.net(net).width;
-  const std::size_t off = plane_off_[net.value()];
+  const std::size_t off = plane_off_[net.value()] * K;
+  const unsigned word = lane / 64;
+  const unsigned bit = lane % 64;
   std::uint64_t v = 0;
   for (unsigned b = 0; b < width; ++b) {
-    v |= ((planes_[off + b] >> lane) & 1) << b;
+    v |= ((planes_[off + b * K + word] >> bit) & 1) << b;
   }
   return v;
 }

@@ -1,21 +1,30 @@
 #pragma once
-// Bit-parallel 64-lane cycle simulator.
+// Bit-parallel multi-lane cycle simulator.
 //
-// Packs up to 64 independent stimulus streams ("lanes") into one
-// std::uint64_t per net *bit*: plane b of a net holds bit b of that
-// net's value across all lanes. One levelized pass over the netlist
-// then advances every lane by one cycle. Word-level arithmetic is
-// evaluated bit-sliced — ripple-carry adders/subtractors, shift-and-add
-// multipliers, bitwise comparators — so the engine does the work of up
-// to 64 scalar simulators while touching each cell once per pass, and
-// toggle counting degenerates to popcount(prev ^ cur) per plane.
+// Packs up to kMaxLanes independent stimulus streams ("lanes") into one
+// plane *block* (kPlaneWords x 64-bit words, see sim/planes.hpp) per
+// net bit: plane b of a net holds bit b of that net's value across all
+// lanes. One levelized pass over a structure-of-arrays compilation of
+// the netlist (sim/plane_program.hpp) then advances every lane by one
+// cycle. Word-level arithmetic is evaluated bit-sliced — ripple-carry
+// adders/subtractors, shift-and-add multipliers, bitwise comparators —
+// so the engine does the work of up to kMaxLanes scalar simulators
+// while touching each cell once per pass, and toggle counting
+// degenerates to popcount(prev ^ cur) per plane word.
 //
 // Contract (held by tests/test_sim_parallel.cpp and the fuzz suite):
 // running lanes L with stimulus streams s_0..s_{L-1} for C cycles
 // produces ActivityStats *bitwise identical* to running the scalar
 // Simulator once per lane with the same stream for C cycles and merging
 // the per-lane stats (ActivityStats::merge). This makes the scalar
-// engine the differential-testing oracle (`--sim=scalar`).
+// engine the differential-testing oracle (`--sim=scalar`), and holds
+// for every plane-block width and ISA the kernels compile to.
+//
+// When every lane's stimulus is a plain UniformStimulus, the engine
+// advances all lane RNG states in lockstep structure-of-arrays form —
+// the same per-lane xoshiro sequences, computed blockwise without the
+// per-lane virtual dispatch — so stimulus generation vectorizes along
+// with the plane kernels.
 //
 // Probes evaluate lane-parallel over plane 0 of their variables'
 // nets: one memoized DAG walk per cycle instead of one per lane.
@@ -29,6 +38,8 @@
 #include "netlist/netlist.hpp"
 #include "sim/activity.hpp"
 #include "sim/engine.hpp"
+#include "sim/plane_program.hpp"
+#include "sim/planes.hpp"
 #include "sim/stimulus.hpp"
 
 namespace opiso {
@@ -37,13 +48,13 @@ class CycleSink;
 
 class ParallelSimulator : public ProbeHost {
  public:
-  static constexpr unsigned kMaxLanes = 64;
+  static constexpr unsigned kMaxLanes = 64 * kPlaneWords;
 
   /// One independent stimulus stream per lane. Lane seeds should differ
   /// per lane or every lane simulates the same trajectory.
   using LaneStimulusFactory = std::function<std::unique_ptr<Stimulus>(unsigned lane)>;
 
-  /// The netlist must outlive the simulator; `lanes` in [1, 64].
+  /// The netlist must outlive the simulator; `lanes` in [1, kMaxLanes].
   /// `pool`/`vars` (optional, must outlive the simulator) enable Expr
   /// probes, exactly as in the scalar Simulator.
   explicit ParallelSimulator(const Netlist& nl, unsigned lanes = kMaxLanes,
@@ -75,6 +86,9 @@ class ParallelSimulator : public ProbeHost {
   /// sum of the scalar engine's per-lane traces. Net values are not
   /// passed (they live in bit planes); attach after warmup.
   void set_cycle_sink(CycleSink* sink);
+  /// Attach a frame observer (null detaches): after every settle the
+  /// sink sees the full plane array (incremental tape capture).
+  void set_frame_sink(FrameSink* sink) { frame_sink_ = sink; }
   /// Collect per-bit toggle counts (dual-bit-type power models).
   void enable_bit_stats();
 
@@ -88,35 +102,37 @@ class ParallelSimulator : public ProbeHost {
 
  private:
   void drive_inputs();
-  void settle_combinational();
-  void clock_registers();
   void record_stats();
-  [[nodiscard]] std::uint64_t eval_expr_lanes(ExprRef r);
-
-  // Plane of bit b of `net`'s *current* value, zero-extended past the
-  // net's width (scalar values are width-masked, so high planes are 0).
-  [[nodiscard]] std::uint64_t plane(NetId net, unsigned b) const {
-    return b < nl_.net(net).width ? planes_[plane_off_[net.value()] + b] : 0;
-  }
+  void eval_expr_lanes(ExprRef r, std::uint64_t* out);
 
   const Netlist& nl_;
   const ExprPool* pool_;
   const NetVarMap* vars_;
   unsigned lanes_;
-  std::uint64_t lane_mask_;
+  PlaneBlock lane_mask_{};  ///< active-lane mask, one block
   std::vector<CellId> order_;  ///< topological order
+  PlaneProgram program_;       ///< SoA compilation of order_
 
-  std::vector<std::size_t> plane_off_;   ///< per net: offset into planes_
-  std::vector<std::uint64_t> planes_;    ///< current value, one word per net bit
+  std::vector<std::size_t> plane_off_;   ///< per net: bit-plane index (x kPlaneWords = word)
+  std::vector<std::uint64_t> planes_;    ///< current value, one block per net bit
   std::vector<std::uint64_t> prev_;      ///< previous-cycle planes
-  std::vector<std::size_t> state_off_;   ///< per cell: offset into state_ (stateful kinds)
+  std::vector<std::size_t> state_off_;   ///< per cell: bit-plane index into state_
   std::vector<std::uint64_t> state_;     ///< reg/latch held planes
 
   std::vector<std::unique_ptr<Stimulus>> lane_stims_;
-  std::vector<ExprRef> probes_;
-  std::vector<std::uint64_t> prev_probe_;  ///< per probe: previous lane word
+  // SoA xoshiro fast path (all lanes UniformStimulus): state word i of
+  // lane l at rng_soa_[i * lanes_padded_ + l].
+  bool uniform_fast_ = false;
+  std::size_t lanes_padded_ = 0;
+  std::vector<std::uint64_t> rng_soa_;
+  std::vector<std::uint64_t> pi_masks_;     ///< per PI: width mask (fast path)
+  std::vector<std::uint64_t> uniform_buf_;  ///< per cycle: PI p draws at [p*lanes_padded_..]
 
-  // Per-cycle probe memoization over the hash-consed Expr DAG.
+  std::vector<ExprRef> probes_;
+  std::vector<std::uint64_t> prev_probe_;  ///< per probe: previous lane block
+
+  // Per-cycle probe memoization over the hash-consed Expr DAG
+  // (block-valued: node r at expr_val_[r * kPlaneWords ..]).
   std::vector<std::uint64_t> expr_val_;
   std::vector<std::uint64_t> expr_gen_;
   std::uint64_t gen_ = 0;
@@ -125,6 +141,7 @@ class ParallelSimulator : public ProbeHost {
   std::uint64_t cycle_ = 0;
   bool has_prev_ = false;
   CycleSink* sink_ = nullptr;
+  FrameSink* frame_sink_ = nullptr;
   std::vector<std::uint32_t> sink_toggles_;  ///< per net, this macro-cycle (lane-folded)
 };
 

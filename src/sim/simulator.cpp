@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/cycle_trace.hpp"
+#include "sim/eval_scalar.hpp"
 #include "support/error.hpp"
 
 namespace opiso {
@@ -50,83 +51,9 @@ std::size_t Simulator::add_probe(ExprRef expr) {
 void Simulator::settle_combinational() {
   for (CellId id : order_) {
     const Cell& c = nl_.cell(id);
-    auto in = [&](int p) { return value_[c.ins[static_cast<size_t>(p)].value()]; };
-    std::uint64_t out = 0;
-    switch (c.kind) {
-      case CellKind::PrimaryInput:  // set by run()
-      case CellKind::PrimaryOutput:
-        continue;
-      case CellKind::Constant:
-        out = c.param;
-        break;
-      case CellKind::Reg:
-        out = state_[id.value()];
-        break;
-      case CellKind::Add:
-        out = in(0) + in(1);
-        break;
-      case CellKind::Sub:
-        out = in(0) - in(1);
-        break;
-      case CellKind::Mul:
-        out = in(0) * in(1);
-        break;
-      case CellKind::Eq:
-        out = in(0) == in(1) ? 1 : 0;
-        break;
-      case CellKind::Lt:
-        out = in(0) < in(1) ? 1 : 0;
-        break;
-      case CellKind::Shl:
-        out = c.param >= 64 ? 0 : in(0) << c.param;
-        break;
-      case CellKind::Shr:
-        out = c.param >= 64 ? 0 : in(0) >> c.param;
-        break;
-      case CellKind::Not:
-        out = ~in(0);
-        break;
-      case CellKind::Buf:
-        out = in(0);
-        break;
-      case CellKind::And:
-        out = in(0) & in(1);
-        break;
-      case CellKind::Or:
-        out = in(0) | in(1);
-        break;
-      case CellKind::Xor:
-        out = in(0) ^ in(1);
-        break;
-      case CellKind::Nand:
-        out = ~(in(0) & in(1));
-        break;
-      case CellKind::Nor:
-        out = ~(in(0) | in(1));
-        break;
-      case CellKind::Xnor:
-        out = ~(in(0) ^ in(1));
-        break;
-      case CellKind::Mux2:
-        out = (in(0) & 1) ? in(2) : in(1);
-        break;
-      case CellKind::Latch:
-        // Transparent while EN = 1; holds otherwise (level-sensitive).
-        if (in(1) & 1) state_[id.value()] = in(0);
-        out = state_[id.value()];
-        break;
-      case CellKind::IsoAnd:
-        out = (in(1) & 1) ? in(0) : 0;
-        break;
-      case CellKind::IsoOr:
-        out = (in(1) & 1) ? in(0) : ~std::uint64_t{0};
-        break;
-      case CellKind::IsoLatch:
-        if (in(1) & 1) state_[id.value()] = in(0);
-        out = state_[id.value()];
-        break;
-    }
-    value_[c.out.value()] = out & mask_[c.out.value()];
+    if (c.kind == CellKind::PrimaryInput || c.kind == CellKind::PrimaryOutput) continue;
+    value_[c.out.value()] =
+        eval_scalar_cell(c, value_.data(), state_[id.value()]) & mask_[c.out.value()];
   }
 }
 
@@ -136,8 +63,7 @@ void Simulator::clock_registers() {
   for (CellId id : order_) {
     const Cell& c = nl_.cell(id);
     if (c.kind != CellKind::Reg) continue;
-    const std::uint64_t en = value_[c.ins[1].value()] & 1;
-    if (en) state_[id.value()] = value_[c.ins[0].value()];
+    clock_scalar_reg(c, value_.data(), state_[id.value()]);
   }
 }
 
@@ -229,6 +155,7 @@ void Simulator::run(Stimulus& stim, std::uint64_t cycles) {
       value_[c.out.value()] = stim.next(nl_, pi, cycle_) & mask_[c.out.value()];
     }
     settle_combinational();
+    if (frame_sink_) frame_sink_->on_frame(cycle_, value_.data(), value_.size());
     record_stats();
     if (vcd_) write_vcd_cycle();
     clock_registers();

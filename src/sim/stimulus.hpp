@@ -26,6 +26,13 @@ class Stimulus {
  public:
   virtual ~Stimulus() = default;
   [[nodiscard]] virtual std::uint64_t next(const Netlist& nl, CellId pi, std::uint64_t cycle) = 0;
+
+  /// Non-null iff this generator is a plain uniform draw from the
+  /// returned Rng (one next_bits(width) per call, no other state). The
+  /// lane-parallel engine uses this to advance all lane RNGs in
+  /// structure-of-arrays lockstep instead of through virtual dispatch;
+  /// a caller that takes the pointer owns the stream from then on.
+  [[nodiscard]] virtual Rng* uniform_rng() { return nullptr; }
 };
 
 /// Uniform random words on every input.
@@ -33,6 +40,7 @@ class UniformStimulus : public Stimulus {
  public:
   explicit UniformStimulus(std::uint64_t seed = 1);
   std::uint64_t next(const Netlist& nl, CellId pi, std::uint64_t cycle) override;
+  Rng* uniform_rng() override { return &rng_; }
 
  private:
   Rng rng_;

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <numeric>
 
+#include "isolation/algorithm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "power/estimator.hpp"
@@ -72,7 +73,8 @@ SweepResult run_sweep_task_impl(const SweepTask& task, const SweepBudget& budget
   OPISO_SPAN("sweep.task");
   OPISO_REQUIRE(task.make_design != nullptr, "sweep task '" + task.design + "': no design");
   OPISO_REQUIRE(task.lanes >= 1 && task.lanes <= ParallelSimulator::kMaxLanes,
-                "sweep task '" + task.design + "': lanes must be in [1,64]");
+                "sweep task '" + task.design + "': lanes must be in [1," +
+                    std::to_string(ParallelSimulator::kMaxLanes) + "]");
   // The stimulus volume is known before anything runs, so this check is
   // deterministic — the same task fails the same way on every schedule.
   if (budget.task_max_lane_cycles != 0 &&
@@ -90,6 +92,52 @@ SweepResult run_sweep_task_impl(const SweepTask& task, const SweepBudget& budget
   // milliseconds and surface with the rejecting check's own error code.
   if (preflight != nullptr) preflight(task, nl);
   guard.check_clock();
+
+  if (task.isolate) {
+    // Isolate mode: the task runs Algorithm 1 instead of a plain
+    // measurement. The shared options are copied and the task's own
+    // engine/lanes/cycles/warmup and seed are installed, so the result
+    // is a pure function of the task fields — the report stays bitwise
+    // identical for any --threads value.
+    IsolationOptions opt = *task.isolate;
+    opt.sim_engine = task.engine;
+    opt.sim_lanes = task.lanes;
+    const std::uint64_t scale = task.engine == SimEngineKind::Parallel ? task.lanes : 1;
+    opt.sim_cycles = task.cycles * scale;
+    opt.warmup_cycles = task.warmup * scale;
+    if (task.engine == SimEngineKind::Parallel) {
+      opt.lane_stimuli = [&task](unsigned lane) {
+        return make_task_stimulus(task, sweep_lane_seed(task.seed, lane));
+      };
+    }
+    // The wall-clock budget is enforced between iterations (the loop's
+    // natural chunk); elapsed progress counts one measurement round per
+    // iteration, a deterministic measure like the plain path's.
+    const std::function<void(const IterationLog&)> chained = opt.on_iteration;
+    opt.on_iteration = [&guard, &opt, &chained](const IterationLog& log) {
+      guard.advance(opt.sim_cycles);
+      if (chained) chained(log);
+    };
+    const IsolationResult res = run_operand_isolation(
+        nl, [&task] { return make_task_stimulus(task, task.seed); }, opt);
+    guard.advance(opt.sim_cycles);  // the final post-loop measurement
+
+    SweepResult r;
+    r.design = task.design;
+    r.seed = task.seed;
+    r.engine = task.engine;
+    r.lanes = task.lanes;
+    r.lane_cycles = (res.iterations.size() + 1) * opt.sim_cycles;
+    r.isolated_mode = true;
+    r.power_before_mw = res.power_before_mw;
+    r.power_after_mw = res.power_after_mw;
+    r.power_reduction_pct = res.power_reduction_pct();
+    r.iterations = res.iterations.size();
+    r.modules_isolated = res.records.size();
+    r.power_mw = res.power_after_mw;
+    return r;
+  }
+
   ActivityStats stats;
   if (task.engine == SimEngineKind::Parallel) {
     ParallelSimulator sim(nl, task.lanes);
@@ -319,6 +367,15 @@ obs::JsonValue build_sweep_report(const SweepOutcome& outcome) {
     t["lane_cycles"] = r.lane_cycles;
     t["toggles"] = r.toggles;
     t["power_mw"] = r.power_mw;
+    if (r.isolated_mode) {
+      // Additive isolate-mode fields; plain rows keep the v1 shape
+      // unchanged so existing consumers never see them.
+      t["power_before_mw"] = r.power_before_mw;
+      t["power_after_mw"] = r.power_after_mw;
+      t["power_reduction_pct"] = r.power_reduction_pct;
+      t["iterations"] = r.iterations;
+      t["modules_isolated"] = r.modules_isolated;
+    }
     tasks.push_back(std::move(t));
     lane_cycles += r.lane_cycles;
     toggles += r.toggles;

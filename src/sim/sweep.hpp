@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "sim/simulator.hpp"
 
 namespace opiso {
+
+struct IsolationOptions;  // isolation/algorithm.hpp (linked via opiso_isolation)
 
 /// Deterministic per-lane RNG stream seed for a task seed.
 [[nodiscard]] constexpr std::uint64_t sweep_lane_seed(std::uint64_t task_seed, unsigned lane) {
@@ -40,6 +43,13 @@ struct SweepTask {
   SimEngineKind engine = SimEngineKind::Parallel;
   /// Stimulus per lane seed; defaults to UniformStimulus when unset.
   std::function<std::unique_ptr<Stimulus>(std::uint64_t lane_seed)> make_stimulus;
+  /// When set, the task runs Algorithm 1 (run_operand_isolation) on the
+  /// design instead of a plain activity measurement: the options are
+  /// copied and the task's engine/lanes/cycles/warmup and seed-derived
+  /// stimulus factories are installed on the copy, so every task stays
+  /// a pure function of its own fields. Shared across tasks (the sweep
+  /// never mutates it).
+  std::shared_ptr<const IsolationOptions> isolate;
 };
 
 struct SweepResult {
@@ -50,6 +60,14 @@ struct SweepResult {
   std::uint64_t lane_cycles = 0;  ///< total simulated lane-cycles (post-warmup)
   std::uint64_t toggles = 0;      ///< total bit toggles over all nets
   double power_mw = 0.0;          ///< macro-model power at the measured activity
+
+  // -- isolate-mode extras (task.isolate set); zero otherwise ---------------
+  bool isolated_mode = false;
+  double power_before_mw = 0.0;
+  double power_after_mw = 0.0;
+  double power_reduction_pct = 0.0;
+  std::uint64_t iterations = 0;         ///< Algorithm-1 iterations run
+  std::uint64_t modules_isolated = 0;   ///< banks committed
 };
 
 /// Per-task resource budget. Zero fields are unlimited. The stimulus

@@ -6,6 +6,7 @@
 // probability, and range draws. Deterministic seeding keeps every
 // experiment in EXPERIMENTS.md byte-reproducible.
 
+#include <array>
 #include <cstdint>
 
 namespace opiso {
@@ -52,6 +53,16 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive.
   std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) {
     return lo + next_u64() % (hi - lo + 1);
+  }
+
+  /// Raw xoshiro state, for engines that advance many Rngs in lockstep
+  /// structure-of-arrays form (sim/parallel_sim.cpp). Round-tripping
+  /// through state()/set_state() preserves the output sequence exactly.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (unsigned i = 0; i < 4; ++i) state_[i] = s[i];
   }
 
  private:

@@ -92,6 +92,46 @@ TEST(ReportDiff, AbsAndRelTolerancesAccept) {
   EXPECT_DOUBLE_EQ(d[0].allowed, 1.0);
 }
 
+TEST(ReportDiff, OneSidedRelIncreaseAllowsUnboundedImprovement) {
+  // Lower-is-better metric (wall time): a halving passes, a within-
+  // margin rise passes, an over-margin rise fails — the CI perf gate's
+  // exact semantics.
+  const ToleranceSpec spec = spec_from(R"([{"path": "benches.*.wall_ms",
+                                            "rel_increase": 0.10}])");
+  const JsonValue base = JsonValue::parse(R"({"benches": [{"wall_ms": 100.0}]})");
+  const JsonValue faster = JsonValue::parse(R"({"benches": [{"wall_ms": 50.0}]})");
+  const JsonValue slightly = JsonValue::parse(R"({"benches": [{"wall_ms": 109.0}]})");
+  const JsonValue regressed = JsonValue::parse(R"({"benches": [{"wall_ms": 111.0}]})");
+  EXPECT_TRUE(diff_reports(base, faster, spec).empty());
+  EXPECT_TRUE(diff_reports(base, slightly, spec).empty());
+  const std::vector<DiffEntry> d = diff_reports(base, regressed, spec);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].path, "benches.0.wall_ms");
+  EXPECT_DOUBLE_EQ(d[0].allowed, 10.0);
+}
+
+TEST(ReportDiff, OneSidedRelDecreaseGuardsThroughputMetrics) {
+  // Higher-is-better metric (lane-cycles/sec): only a drop beyond the
+  // margin is a regression.
+  const ToleranceSpec spec = spec_from(R"([{"path": "throughput",
+                                            "rel_decrease": 0.10}])");
+  const JsonValue base = JsonValue::parse(R"({"throughput": 1000.0})");
+  EXPECT_TRUE(diff_reports(base, JsonValue::parse(R"({"throughput": 5000.0})"), spec).empty());
+  EXPECT_TRUE(diff_reports(base, JsonValue::parse(R"({"throughput": 901.0})"), spec).empty());
+  EXPECT_EQ(diff_reports(base, JsonValue::parse(R"({"throughput": 899.0})"), spec).size(), 1u);
+}
+
+TEST(ReportDiff, OneSidedRulesComposeWithTwoSidedAcceptance) {
+  // An abs rule on the same path still accepts small regressions even
+  // past the one-sided margin's direction checks.
+  const ToleranceSpec spec = spec_from(R"([{"path": "v", "abs": 5.0,
+                                            "rel_increase": 0.0}])");
+  const JsonValue base = JsonValue::parse(R"({"v": 100.0})");
+  EXPECT_TRUE(diff_reports(base, JsonValue::parse(R"({"v": 104.0})"), spec).empty());
+  EXPECT_EQ(diff_reports(base, JsonValue::parse(R"({"v": 106.0})"), spec).size(), 1u);
+  EXPECT_TRUE(diff_reports(base, JsonValue::parse(R"({"v": 1.0})"), spec).empty());
+}
+
 TEST(ReportDiff, IgnoreRulesSuppressSubtreesAndPresence) {
   const JsonValue a = JsonValue::parse(R"({"metrics": {"sim": {"ns": 1}}, "x": 1})");
   const JsonValue b = JsonValue::parse(R"({"x": 1})");

@@ -1,4 +1,4 @@
-// Differential tests for the 64-lane bit-parallel simulator: for every
+// Differential tests for the multi-lane bit-parallel simulator: for every
 // design and lane count, the parallel engine must produce statistics
 // BITWISE IDENTICAL to running one scalar Simulator per lane (with the
 // lane's RNG stream) and merging the stats — the scalar engine is the
@@ -84,11 +84,19 @@ void expect_matches_oracle(const Netlist& nl, unsigned lanes, std::uint64_t cycl
 
 TEST(SimParallel, MatchesScalarOnFig1) {
   const Netlist nl = make_fig1();
-  for (unsigned lanes : {1u, 5u, 64u}) expect_matches_oracle(nl, lanes, 200, 3);
+  // Lane counts straddling plane-word boundaries: partial first word,
+  // exactly one word, first lane of word 1, partial last word, full block.
+  for (unsigned lanes : {1u, 5u, 64u, 65u, ParallelSimulator::kMaxLanes - 3,
+                         ParallelSimulator::kMaxLanes}) {
+    expect_matches_oracle(nl, lanes, 200, 3);
+  }
 }
 
 TEST(SimParallel, MatchesScalarOnDesign1) {
   expect_matches_oracle(make_design1(), 64, 150, 17);
+  // Cross the 64-lane word boundary on a real datapath (slow-path count
+  // kept small: the oracle runs one scalar sim per lane).
+  expect_matches_oracle(make_design1(), 96, 60, 19);
 }
 
 TEST(SimParallel, MatchesScalarOnDesign2) {
@@ -176,6 +184,26 @@ TEST(SimParallel, ShiftParamEdgeCases) {
   }
 }
 
+TEST(SimParallel, MatchesScalarWithNonUniformStimulus) {
+  // ControlledBitStimulus is not a plain uniform draw, so this pins the
+  // per-lane virtual-dispatch path (the SoA fast path handles uniform).
+  const Netlist nl = make_design1();
+  ParallelSimulator psim(nl, 70);
+  psim.set_stimulus([](unsigned lane) {
+    return std::make_unique<ControlledBitStimulus>(0.3, 0.2, 1000 + lane);
+  });
+  psim.run(80);
+  ActivityStats oracle;
+  for (unsigned l = 0; l < 70; ++l) {
+    Simulator sim(nl);
+    ControlledBitStimulus stim(0.3, 0.2, 1000 + l);
+    sim.run(stim, 80);
+    oracle.merge(sim.stats());
+  }
+  EXPECT_EQ(psim.stats().toggles, oracle.toggles);
+  EXPECT_EQ(psim.stats().ones, oracle.ones);
+}
+
 TEST(SimParallel, RunRequiresStimulus) {
   const Netlist nl = make_fig1();
   ParallelSimulator sim(nl, 4);
@@ -185,7 +213,7 @@ TEST(SimParallel, RunRequiresStimulus) {
 TEST(SimParallel, LaneBoundsChecked) {
   const Netlist nl = make_fig1();
   EXPECT_THROW(ParallelSimulator(nl, 0), Error);
-  EXPECT_THROW(ParallelSimulator(nl, 65), Error);
+  EXPECT_THROW(ParallelSimulator(nl, ParallelSimulator::kMaxLanes + 1), Error);
   ParallelSimulator sim(nl, 4);
   sim.set_stimulus([](unsigned) { return std::make_unique<UniformStimulus>(1); });
   sim.run(1);

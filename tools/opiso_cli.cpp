@@ -88,6 +88,10 @@ using namespace opiso;
       "      --bdd-budget N         BDD node budget for activation-function\n"
       "                             simplification; over-budget functions keep\n"
       "                             their structural form (0 = unlimited)\n"
+      "      --no-incremental       re-simulate every iteration in full instead\n"
+      "                             of replaying the dirty cone of the committed\n"
+      "                             banks (results are bit-identical either way;\n"
+      "                             --incremental restores the default)\n"
       "  explain    <design> --candidate NAME run Algorithm 1, then print the\n"
       "      Eq. 1-5 decision narrative for one candidate from the power-\n"
       "      attribution ledger (accepts the isolate options; exits 1 if the\n"
@@ -114,7 +118,9 @@ using namespace opiso;
       "  sweep      <design...>               multithreaded simulation sweep:\n"
       "      --seeds N              stimulus seeds per design (default: 4)\n"
       "      --cycles N             total cycles per task, split across lanes\n"
-      "      --lanes N              bit-parallel lanes, 1..64 (default: 64)\n"
+      "      --lanes N              bit-parallel lanes, up to the compiled\n"
+      "                             plane width (256, or 512 with AVX-512);\n"
+      "                             default: the full width\n"
       "      --threads N            worker threads, 0 = hardware (default: 0)\n"
       "      --sim scalar|parallel  simulation engine (default: parallel)\n"
       "      --warmup N             per-lane warmup cycles (default: 0)\n"
@@ -126,6 +132,10 @@ using namespace opiso;
       "                             designs are otherwise recorded in the\n"
       "                             report's opiso.task_failures/v1 section\n"
       "                             under their lint.* code)\n"
+      "      --isolate              run Algorithm 1 per task (accepts the\n"
+      "                             isolate options); report rows gain\n"
+      "                             power_before/after_mw, power_reduction_pct,\n"
+      "                             iterations and modules_isolated\n"
       "      designs are builtin names (fig1, design1, design2) or files;\n"
       "      --metrics FILE writes the deterministic sweep report — it is\n"
       "      bitwise identical for any --threads and --sim value;\n"
@@ -158,7 +168,8 @@ using namespace opiso;
       "      (round-trip gate for the wave exporter; exit 1 on malformed VCD)\n"
       "\n"
       "power and isolate also accept --sim/--lanes to run their\n"
-      "measurements on the 64-lane bit-parallel engine.\n"
+      "measurements on the bit-parallel engine (default 64 lanes there,\n"
+      "keeping measured statistics independent of the compiled width).\n"
       "\n"
       "observability (any command):\n"
       "  --trace FILE     write a Chrome-trace JSON timeline of the run\n"
@@ -208,7 +219,10 @@ struct Args {
   SimEngineKind sim_engine = SimEngineKind::Scalar;
   bool sim_engine_set = false;
   std::uint64_t seeds = 4;
-  unsigned lanes = ParallelSimulator::kMaxLanes;
+  // 0 = auto: sweep widens to ParallelSimulator::kMaxLanes (throughput);
+  // isolate/power/wave keep the 64-lane measurement discipline so run
+  // reports and golden files are invariant to the compiled plane width.
+  unsigned lanes = 0;
   unsigned threads = 0;
   std::uint64_t warmup = 0;
   bool fail_fast = false;
@@ -216,6 +230,7 @@ struct Args {
   std::uint64_t task_max_lane_cycles = 0;
   std::int64_t inject_failure = -1;  ///< task index to sabotage (testing aid)
   std::size_t bdd_budget = IsolationOptions{}.bdd_node_budget;
+  bool incremental = true;
   std::string vcd_path;
   std::string trace_power_path;
   std::uint64_t window = 1;
@@ -224,6 +239,7 @@ struct Args {
   Severity fail_on = Severity::Error;
   std::vector<std::string> only_passes;
   bool no_prelint = false;
+  bool sweep_isolate = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -301,6 +317,10 @@ Args parse_args(int argc, char** argv) {
       args.compare_isolated = true;
     } else if (a == "--bdd-budget") {
       args.bdd_budget = static_cast<std::size_t>(std::stoull(value()));
+    } else if (a == "--incremental") {
+      args.incremental = true;
+    } else if (a == "--no-incremental") {
+      args.incremental = false;
     } else if (a == "--json-errors") {
       args.json_errors = true;
     } else if (a == "--fail-on") {
@@ -312,6 +332,8 @@ Args parse_args(int argc, char** argv) {
       args.only_passes.push_back(value());
     } else if (a == "--no-prelint") {
       args.no_prelint = true;
+    } else if (a == "--isolate") {
+      args.sweep_isolate = true;
     } else if (!a.empty() && a[0] == '-') {
       usage();
     } else {
@@ -458,7 +480,16 @@ int run_lint_cmd(const Args& args, bool& metrics_written) {
   return exit_code;
 }
 
+IsolationOptions isolate_options(const Args& args);
+
 int run_sweep_cmd(const Args& args, bool& metrics_written) {
+  // --isolate: every task runs Algorithm 1 under its own seed instead of
+  // a plain measurement. One shared options block; the sweep layer
+  // installs the per-task engine config and stimulus factories.
+  std::shared_ptr<const IsolationOptions> iso;
+  if (args.sweep_isolate) {
+    iso = std::make_shared<const IsolationOptions>(isolate_options(args));
+  }
   std::vector<SweepTask> tasks;
   for (const std::string& name : args.positional) {
     make_sweep_design(name);  // fail fast on a bad name, before the pool spins up
@@ -467,10 +498,11 @@ int run_sweep_cmd(const Args& args, bool& metrics_written) {
       t.design = name;
       t.make_design = [name] { return make_sweep_design(name); };
       t.seed = seed;
-      t.lanes = args.lanes;
-      t.cycles = std::max<std::uint64_t>(1, args.cycles / args.lanes);
+      t.lanes = args.lanes ? args.lanes : ParallelSimulator::kMaxLanes;
+      t.cycles = std::max<std::uint64_t>(1, args.cycles / t.lanes);
       t.warmup = args.warmup;
       t.engine = args.sim_engine_set ? args.sim_engine : SimEngineKind::Parallel;
+      t.isolate = iso;
       tasks.push_back(std::move(t));
     }
   }
@@ -524,8 +556,17 @@ int run_sweep_cmd(const Args& args, bool& metrics_written) {
     if (outcome.failed(i)) continue;
     const SweepResult& r = outcome.results[i];
     total_lane_cycles += r.lane_cycles;
-    human_out(args) << r.design << " seed " << r.seed << ": toggles " << r.toggles << ", power "
-                    << r.power_mw << " mW (" << r.lane_cycles << " lane-cycles)\n";
+    if (r.isolated_mode) {
+      human_out(args) << r.design << " seed " << r.seed << ": isolated " << r.modules_isolated
+                      << " module(s) in " << r.iterations << " iteration(s), "
+                      << r.power_before_mw << " -> " << r.power_after_mw << " mW ("
+                      << r.power_reduction_pct << "% saved, " << r.lane_cycles
+                      << " lane-cycles)\n";
+    } else {
+      human_out(args) << r.design << " seed " << r.seed << ": toggles " << r.toggles
+                      << ", power " << r.power_mw << " mW (" << r.lane_cycles
+                      << " lane-cycles)\n";
+    }
   }
   // Failures go to stderr: stdout and the report stay deterministic
   // so CI can diff runs across --threads and --sim values.
@@ -560,8 +601,9 @@ IsolationOptions isolate_options(const Args& args) {
   opt.slack_threshold_ns = args.slack_threshold;
   opt.bdd_node_budget = args.bdd_budget;
   opt.activation.register_lookahead = args.lookahead;
+  opt.incremental = args.incremental;
   opt.sim_engine = args.sim_engine;
-  opt.sim_lanes = args.lanes;
+  if (args.lanes != 0) opt.sim_lanes = args.lanes;
   if (opt.sim_engine == SimEngineKind::Parallel) {
     opt.lane_stimuli = [](unsigned lane) {
       return std::make_unique<UniformStimulus>(sweep_lane_seed(1, lane));
@@ -743,7 +785,7 @@ int run(int argc, char** argv) {
   } else if (cmd == "power") {
     ActivityStats stats;
     if (args.sim_engine == SimEngineKind::Parallel) {
-      ParallelSimulator sim(design, args.lanes);
+      ParallelSimulator sim(design, args.lanes ? args.lanes : IsolationOptions{}.sim_lanes);
       sim.set_stimulus([](unsigned lane) {
         return std::make_unique<UniformStimulus>(sweep_lane_seed(1, lane));
       });
