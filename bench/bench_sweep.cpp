@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "designs/designs.hpp"
 #include "isolation/algorithm.hpp"
 #include "obs/json.hpp"
@@ -150,6 +151,7 @@ void emit(const std::vector<BenchRow>& rows, double incremental_speedup) {
   const std::string path = dir + "/BENCH_sweep.json";
   obs::JsonValue doc = obs::JsonValue::object();
   doc["schema"] = "opiso.bench_sweep/v1";
+  doc["envelope"] = bench::bench_envelope("opiso.bench_sweep/v1");
   doc["bench"] = "sweep";
   obs::JsonValue benches = obs::JsonValue::object();
   for (const BenchRow& r : rows) benches[r.name] = row_to_json(r);

@@ -114,6 +114,30 @@ inline void print_table(const std::string& title, const TableResult& table) {
   for (const StyleRow& r : table.rows) print_row(r, false);
 }
 
+/// Versioned envelope stamped into every BENCH_*.json artifact
+/// (schema opiso.bench/v1): which payload schema the tables follow,
+/// which opiso build produced them (git describe, baked in at
+/// configure time) and on what host architecture. CI perf gates pin
+/// payload_schema/host_arch so a baseline from another schema
+/// generation or machine class is rejected instead of silently
+/// compared; opiso_version is informational (it changes every commit).
+inline obs::JsonValue bench_envelope(const std::string& payload_schema) {
+  obs::JsonValue env = obs::JsonValue::object();
+  env["schema"] = "opiso.bench/v1";
+  env["payload_schema"] = payload_schema;
+#ifdef OPISO_GIT_DESCRIBE
+  env["opiso_version"] = OPISO_GIT_DESCRIBE;
+#else
+  env["opiso_version"] = "unknown";
+#endif
+#ifdef OPISO_HOST_ARCH
+  env["host_arch"] = OPISO_HOST_ARCH;
+#else
+  env["host_arch"] = "unknown";
+#endif
+  return env;
+}
+
 inline obs::JsonValue row_to_json(const StyleRow& r) {
   obs::JsonValue row = obs::JsonValue::object();
   row["label"] = r.label;
@@ -141,6 +165,7 @@ inline void emit_json(const std::string& name, const TableResult& table) {
   const std::string path = dir + "/BENCH_" + name + ".json";
   obs::JsonValue doc = obs::JsonValue::object();
   doc["schema"] = "opiso.bench_table/v1";
+  doc["envelope"] = bench_envelope("opiso.bench_table/v1");
   doc["bench"] = name;
   doc["baseline"] = row_to_json(table.baseline);
   obs::JsonValue rows = obs::JsonValue::array();

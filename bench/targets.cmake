@@ -4,10 +4,26 @@
 set(OPISO_BENCH_LIBS opiso_isolation opiso_baseline opiso_designs opiso_lower opiso_obs
     opiso_sweep opiso_util)
 
+# Configure-time provenance for the opiso.bench/v1 envelope every
+# BENCH_*.json carries: which build produced the numbers, on what
+# architecture. Falls back to "unknown" outside a git checkout.
+execute_process(COMMAND git describe --always --dirty
+                WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+                OUTPUT_VARIABLE OPISO_GIT_DESCRIBE
+                OUTPUT_STRIP_TRAILING_WHITESPACE
+                ERROR_QUIET
+                RESULT_VARIABLE OPISO_GIT_DESCRIBE_RC)
+if(NOT OPISO_GIT_DESCRIBE_RC EQUAL 0 OR OPISO_GIT_DESCRIBE STREQUAL "")
+  set(OPISO_GIT_DESCRIBE "unknown")
+endif()
+
 function(opiso_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE ${OPISO_BENCH_LIBS} ${ARGN})
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
+  target_compile_definitions(${name} PRIVATE
+      OPISO_GIT_DESCRIBE="${OPISO_GIT_DESCRIBE}"
+      OPISO_HOST_ARCH="${CMAKE_SYSTEM_PROCESSOR}")
   set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
 
@@ -20,6 +36,9 @@ opiso_add_bench(bench_baselines)
 opiso_add_bench(bench_power_models opiso_lower)
 opiso_add_bench(bench_scaling benchmark::benchmark)
 opiso_add_bench(bench_sweep)
+opiso_add_bench(bench_confidence opiso_frontend)
+target_compile_definitions(bench_confidence PRIVATE
+    OPISO_RTL_DIR="${CMAKE_SOURCE_DIR}/designs_rtl")
 
 # Bench smoke: the two table benches run in well under a second, so CI
 # (and any local `ctest -L bench-smoke`) regenerates BENCH_table{1,2}.json

@@ -55,6 +55,7 @@ ActivityStats measure_activity(const Netlist& nl, const ExprPool* pool, const Ne
     OPISO_REQUIRE(opt.lane_stimuli != nullptr,
                   "run_operand_isolation: parallel engine needs lane_stimuli");
     ParallelSimulator sim(nl, opt.sim_lanes, pool, vars);
+    if (opt.confidence.enabled) sim.enable_batch_stats(opt.confidence.batch_frames);
     if (register_on) register_on(sim);
     sim.set_stimulus(opt.lane_stimuli);
     const std::uint64_t lanes = sim.lanes();
@@ -63,6 +64,7 @@ ActivityStats measure_activity(const Netlist& nl, const ExprPool* pool, const Ne
     return sim.stats();
   }
   Simulator sim(nl, pool, vars);
+  if (opt.confidence.enabled) sim.enable_batch_stats(opt.confidence.batch_frames);
   if (register_on) register_on(sim);
   std::unique_ptr<Stimulus> stim = stimuli();
   if (opt.warmup_cycles > 0) sim.warmup(*stim, opt.warmup_cycles);
@@ -82,7 +84,16 @@ std::unique_ptr<IncrementalSession> make_incremental_session(const StimulusFacto
   cfg.sim_cycles = opt.sim_cycles;
   cfg.tape_budget_bytes = opt.incremental_tape_budget_bytes;
   cfg.verify_stimulus = opt.incremental_verify_stimulus;
+  if (opt.confidence.enabled) cfg.batch_frames = opt.confidence.batch_frames;
   return std::make_unique<IncrementalSession>(stimuli, opt.lane_stimuli, cfg);
+}
+
+/// Lanes a round's statistics were folded over: frames of the batch
+/// accumulator times lanes equals measured cycles exactly on both
+/// engines, so the division is exact.
+std::uint64_t stats_lanes(const ActivityStats& stats) {
+  const std::uint64_t frames = stats.net_batches.num_frames();
+  return frames > 0 ? stats.cycles / frames : 0;
 }
 
 }  // namespace
@@ -193,6 +204,13 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
     IterationLog log;
     log.iteration = iteration;
     log.total_power_mw = pb.total_mw;
+    if (opt.confidence.enabled && stats.net_batches.enabled()) {
+      log.power_mw_ci_halfwidth =
+          obs::weighted_interval(stats.net_batches,
+                                 PowerEstimator(opt.power).net_toggle_weights(nl),
+                                 stats_lanes(stats), opt.confidence.level)
+              .halfwidth;
+    }
     log.pool_size = pool_ids.size();
     obs::metrics().gauge("isolate.pool_size").set(static_cast<double>(pool_ids.size()));
 
@@ -209,6 +227,13 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
     for (std::size_t i = 0; i < cands.size(); ++i) {
       const IsolationCandidate& cand = cands[i];
       if (cand.already_isolated || pool_ids.find(cand.cell.value()) == pool_ids.end()) continue;
+      double pr_ci = 0.0;
+      if (opt.confidence.enabled && stats.probe_batches.enabled()) {
+        // Pr(!f) and Pr(f) share an interval width (complement).
+        pr_ci = obs::batch_interval(stats.probe_batches, estimator.activation_probe(i),
+                                    stats_lanes(stats), opt.confidence.level)
+                    .halfwidth;
+      }
       CandidateEvaluation best;
       bool have_best = false;
       for (IsolationStyle style : styles) {
@@ -219,6 +244,7 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
         ev.style = style;
         ev.activation_str = activation_to_string(nl, pool, vars, cand.activation);
         ev.pr_redundant = estimator.pr_redundant(i, stats);
+        ev.pr_redundant_ci_halfwidth = pr_ci;
         ev.primary_mw = estimator.primary_savings_mw(i, stats, opt.primary_model,
                                                      &ev.attribution);
         ev.secondary_mw = estimator.secondary_savings_mw(i, stats, &ev.attribution);
@@ -316,11 +342,39 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
     if (isolated_count == 0) break;  // until !isolation (line 30)
   }
 
-  // Final metrics on the transformed design.
+  // Final metrics on the transformed design. Candidates are re-derived
+  // on the final netlist so the coverage section can report activation-
+  // signal exercise counts for every candidate (the isolated ones
+  // included) from the same measurement round that sets power_after.
   {
     OPISO_SPAN("isolate.final_measure");
-    const ActivityStats stats = measure(nl, nullptr, nullptr, nullptr);
+    ExprPool fpool;
+    NetVarMap fvars;
+    const ActivationAnalysis fanalysis = derive_activation(nl, fpool, fvars, opt.activation);
+    const std::vector<CombBlock> fblocks = combinational_blocks(nl);
+    const std::vector<IsolationCandidate> fcands =
+        identify_candidates(nl, fblocks, fanalysis, fpool, opt.candidates);
+    SavingsEstimator festimator(nl, fpool, fvars, fcands, opt.power);
+    const ActivityStats stats = measure(
+        nl, &fpool, &fvars, [&festimator](ProbeHost& sim) { festimator.register_probes(sim); });
     result.power_after_mw = PowerEstimator(opt.power).estimate(nl, stats).total_mw;
+
+    std::vector<CandidateExercise> exercise;
+    exercise.reserve(fcands.size());
+    for (std::size_t i = 0; i < fcands.size(); ++i) {
+      exercise.push_back({nl.cell(fcands[i].cell).name, festimator.activation_probe(i)});
+    }
+    result.coverage = build_coverage_section(nl, stats, exercise);
+    if (opt.confidence.enabled) {
+      const std::vector<double> weights = PowerEstimator(opt.power).net_toggle_weights(nl);
+      result.confidence = build_confidence_section(nl, stats, opt.confidence, weights);
+      if (opt.confidence.min_power_ci_halfwidth_mw >= 0.0 && stats.net_batches.enabled()) {
+        const obs::SeriesInterval pw = obs::weighted_interval(
+            stats.net_batches, weights, stats_lanes(stats), opt.confidence.level);
+        result.confidence_converged =
+            pw.batches >= 2 && pw.halfwidth <= opt.confidence.min_power_ci_halfwidth_mw;
+      }
+    }
   }
   if (!measured_before) {
     // No candidates at all: before == after.

@@ -23,6 +23,7 @@
 #include "isolation/candidates.hpp"
 #include "isolation/savings.hpp"
 #include "isolation/transform.hpp"
+#include "obs/confidence.hpp"
 #include "power/area_model.hpp"
 #include "power/estimator.hpp"
 #include "timing/sta.hpp"
@@ -94,6 +95,16 @@ struct IsolationOptions {
   int max_iterations = 32;
   bool verbose = false;
 
+  /// Batch-means confidence collection (obs/confidence.hpp). When
+  /// enabled, every measurement round accumulates per-net and per-probe
+  /// window moments, each IterationLog carries the total-power CI
+  /// half-width, each CandidateEvaluation the Pr(!f) CI half-width, and
+  /// the result carries opiso.confidence/v1 + opiso.coverage/v1 report
+  /// sections built from the final measurement. With
+  /// min_power_ci_halfwidth_mw >= 0 an under-converged run is *flagged*
+  /// (confidence_converged = false), never silently extended.
+  obs::ConfidenceConfig confidence{};
+
   CandidateConfig candidates{};
   ActivationOptions activation{};  ///< e.g. register lookahead (Sec. 3)
   DelayModel delay{};
@@ -114,6 +125,9 @@ struct CandidateEvaluation {
   IsolationStyle style = IsolationStyle::And;  ///< style the costs refer to
   std::string activation_str;
   double pr_redundant = 0.0;
+  /// CI half-width of pr_redundant (and of pr_active — they differ by a
+  /// sign); 0 unless confidence collection was enabled.
+  double pr_redundant_ci_halfwidth = 0.0;
   double primary_mw = 0.0;
   double secondary_mw = 0.0;
   double overhead_mw = 0.0;
@@ -135,6 +149,11 @@ struct CandidateEvaluation {
 struct IterationLog {
   int iteration = 0;
   double total_power_mw = 0.0;
+  /// CI half-width of total_power_mw at the configured confidence
+  /// level; 0 unless confidence collection was enabled. The sequence of
+  /// (total_power_mw ± this) across iterations is the ΔP convergence
+  /// trace the confidence report section exposes.
+  double power_mw_ci_halfwidth = 0.0;
   std::size_t pool_size = 0;  ///< candidates still eligible at iteration start
   std::vector<CandidateEvaluation> evaluations;
   std::size_t num_isolated = 0;
@@ -144,6 +163,18 @@ struct IsolationResult {
   Netlist netlist;  ///< transformed copy of the input design
   std::vector<IsolationRecord> records;
   std::vector<IterationLog> iterations;
+
+  /// opiso.coverage/v1 section built from the final measurement round
+  /// (candidates re-derived on the transformed design, their activation
+  /// signals probed alongside the power measurement).
+  obs::JsonValue coverage;
+  /// opiso.confidence/v1 section from the same round; null unless
+  /// options.confidence.enabled.
+  obs::JsonValue confidence;
+  /// False iff options.confidence set a min CI half-width and the final
+  /// power interval missed it. Drivers flag this (task-failure style)
+  /// instead of silently extending the simulation.
+  bool confidence_converged = true;
 
   double power_before_mw = 0.0;
   double power_after_mw = 0.0;

@@ -112,6 +112,11 @@ class SavingsEstimator {
 
   [[nodiscard]] std::size_t num_candidates() const { return cands_.size(); }
 
+  /// Probe index of Pr[f_i] (valid after register_probes). The
+  /// confidence/coverage layers read this candidate's activation-signal
+  /// exercise counts and batch moments through it.
+  [[nodiscard]] std::size_t activation_probe(std::size_t i) const { return models_[i].probe_f; }
+
  private:
   struct PortEvent {
     ExprRef condition;     ///< steering condition (may include f_k term)

@@ -1,0 +1,235 @@
+#include "obs/confidence.hpp"
+
+// This translation unit is compiled with -ffp-contract=off (see
+// src/obs/CMakeLists.txt): all confidence arithmetic must be the same
+// IEEE operation sequence on every build of the same source, so the
+// determinism CI leg can diff confidence sections bitwise across
+// engines, thread counts, plane widths, and incremental replay.
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace opiso::obs {
+
+void BatchAccumulator::configure(std::size_t num_series, std::uint32_t batch_frames) {
+  batch_frames_ = batch_frames;
+  num_series_ = num_series;
+  num_frames_ = 0;
+  cell_base_ = 0;
+  cells_.clear();
+}
+
+void BatchAccumulator::merge(const BatchAccumulator& other) {
+  if (!other.enabled()) return;
+  if (!enabled()) {
+    *this = other;
+    return;
+  }
+  OPISO_REQUIRE(batch_frames_ == other.batch_frames_,
+                "BatchAccumulator::merge: batch sizes differ");
+  OPISO_REQUIRE(num_series_ == other.num_series_,
+                "BatchAccumulator::merge: series counts differ");
+  num_frames_ = std::max(num_frames_, other.num_frames_);
+  if (cells_.size() < other.cells_.size()) cells_.resize(other.cells_.size(), 0);
+  for (std::size_t i = 0; i < other.cells_.size(); ++i) cells_[i] += other.cells_[i];
+}
+
+void BatchAccumulator::copy_series(const BatchAccumulator& from, std::size_t series) {
+  if (!enabled() || !from.enabled()) return;
+  OPISO_REQUIRE(from.batch_frames_ == batch_frames_,
+                "BatchAccumulator::copy_series: batch sizes differ");
+  OPISO_REQUIRE(series < num_series_ && series < from.num_series_,
+                "BatchAccumulator::copy_series: unknown series");
+  // The sides may cover netlists of different sizes (a baseline and an
+  // append-only evolution): windows are copied cell by cell under each
+  // side's own stride. The trailing partial window is copied too — the
+  // accumulators must stay exact, not just CI-equivalent.
+  const std::uint64_t windows =
+      (from.num_frames_ + from.batch_frames_ - 1) / from.batch_frames_;
+  num_frames_ = std::max(num_frames_, from.num_frames_);
+  const std::size_t need = static_cast<std::size_t>(windows) * num_series_;
+  if (cells_.size() < need) cells_.resize(need, 0);
+  for (std::uint64_t w = 0; w < windows; ++w) {
+    cells_[static_cast<std::size_t>(w) * num_series_ + series] =
+        from.cells_[static_cast<std::size_t>(w) * from.num_series_ + series];
+  }
+}
+
+void BatchAccumulator::reset() {
+  num_frames_ = 0;
+  cell_base_ = 0;
+  std::fill(cells_.begin(), cells_.end(), 0);
+}
+
+namespace {
+
+/// Acklam's rational approximation of the standard normal quantile
+/// (absolute error < 1.15e-9 over (0, 1)).
+double inverse_normal(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00, 2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace
+
+double student_t_quantile(double level, std::uint64_t df) {
+  OPISO_REQUIRE(level > 0.0 && level < 1.0, "student_t_quantile: level must be in (0, 1)");
+  OPISO_REQUIRE(df >= 1, "student_t_quantile: df must be >= 1");
+  if (df == 1) {
+    // t_{1-alpha/2, 1} = tan(pi * level / 2).
+    return std::tan(1.5707963267948966 * level);
+  }
+  if (df == 2) {
+    const double alpha = 1.0 - level;
+    return std::sqrt(2.0 / (alpha * (2.0 - alpha)) - 2.0);
+  }
+  // Cornish-Fisher expansion of the t quantile around the normal one.
+  const double z = inverse_normal(0.5 * (1.0 + level));
+  const double nu = static_cast<double>(df);
+  const double z2 = z * z;
+  const double g1 = (z2 + 1.0) * z / 4.0;
+  const double g2 = ((5.0 * z2 + 16.0) * z2 + 3.0) * z / 96.0;
+  const double g3 = (((3.0 * z2 + 19.0) * z2 + 17.0) * z2 - 15.0) * z / 384.0;
+  const double g4 = ((((79.0 * z2 + 776.0) * z2 + 1482.0) * z2 - 1920.0) * z2 - 945.0) * z /
+                    92160.0;
+  return z + g1 / nu + g2 / (nu * nu) + g3 / (nu * nu * nu) + g4 / (nu * nu * nu * nu);
+}
+
+SeriesInterval batch_interval(const BatchAccumulator& acc, std::size_t series,
+                              std::uint64_t lanes, double level) {
+  SeriesInterval out;
+  const std::uint64_t windows = acc.complete_windows();
+  out.batches = windows;
+  if (windows == 0 || lanes == 0) return out;
+  const double scale =
+      1.0 / (static_cast<double>(lanes) * static_cast<double>(acc.batch_frames()));
+  double sum = 0.0;
+  for (std::uint64_t w = 0; w < windows; ++w) {
+    sum += static_cast<double>(acc.cell(w, series)) * scale;
+  }
+  out.mean = sum / static_cast<double>(windows);
+  if (windows < 2) return out;
+  double ss = 0.0;
+  for (std::uint64_t w = 0; w < windows; ++w) {
+    const double d = static_cast<double>(acc.cell(w, series)) * scale - out.mean;
+    ss += d * d;
+  }
+  const double var_mean = ss / static_cast<double>(windows - 1) / static_cast<double>(windows);
+  out.halfwidth = student_t_quantile(level, windows - 1) * std::sqrt(var_mean);
+  return out;
+}
+
+SeriesInterval weighted_interval(const BatchAccumulator& acc, const std::vector<double>& weights,
+                                 std::uint64_t lanes, double level) {
+  SeriesInterval out;
+  const std::uint64_t windows = acc.complete_windows();
+  out.batches = windows;
+  if (windows == 0 || lanes == 0) return out;
+  OPISO_REQUIRE(weights.size() == acc.num_series(),
+                "weighted_interval: weight vector does not match series count");
+  const double scale =
+      1.0 / (static_cast<double>(lanes) * static_cast<double>(acc.batch_frames()));
+  std::vector<double> samples(static_cast<std::size_t>(windows), 0.0);
+  for (std::uint64_t w = 0; w < windows; ++w) {
+    double p = 0.0;
+    for (std::size_t s = 0; s < weights.size(); ++s) {
+      p += weights[s] * (static_cast<double>(acc.cell(w, s)) * scale);
+    }
+    samples[static_cast<std::size_t>(w)] = p;
+  }
+  double sum = 0.0;
+  for (double p : samples) sum += p;
+  out.mean = sum / static_cast<double>(windows);
+  if (windows < 2) return out;
+  double ss = 0.0;
+  for (double p : samples) {
+    const double d = p - out.mean;
+    ss += d * d;
+  }
+  const double var_mean = ss / static_cast<double>(windows - 1) / static_cast<double>(windows);
+  out.halfwidth = student_t_quantile(level, windows - 1) * std::sqrt(var_mean);
+  return out;
+}
+
+JsonValue build_confidence_section(const ConfidenceInput& input) {
+  JsonValue section = JsonValue::object();
+  section["schema"] = "opiso.confidence/v1";
+  section["level"] = input.config.level;
+  section["batch_frames"] = input.config.batch_frames;
+  const BatchAccumulator* acc = input.nets;
+  const std::uint64_t frames = acc ? acc->num_frames() : 0;
+  const std::uint64_t windows = acc ? acc->complete_windows() : 0;
+  const std::uint64_t lanes = frames > 0 ? input.cycles / frames : 0;
+  section["frames"] = frames;
+  section["batches"] = windows;
+  section["lanes"] = lanes;
+  section["cycles"] = input.cycles;
+
+  if (acc != nullptr && acc->enabled() && !input.power_weights_mw.empty()) {
+    const SeriesInterval pw =
+        weighted_interval(*acc, input.power_weights_mw, lanes, input.config.level);
+    JsonValue power = JsonValue::object();
+    power["mean_mw"] = pw.mean;
+    power["ci_halfwidth_mw"] = pw.halfwidth;
+    power["batches"] = pw.batches;
+    if (input.config.min_power_ci_halfwidth_mw >= 0.0) {
+      power["min_ci_halfwidth_mw"] = input.config.min_power_ci_halfwidth_mw;
+      power["converged"] =
+          pw.batches >= 2 && pw.halfwidth <= input.config.min_power_ci_halfwidth_mw;
+    }
+    section["power_mw"] = std::move(power);
+  }
+
+  JsonValue nets = JsonValue::array();
+  double max_half = 0.0;
+  double sum_half = 0.0;
+  std::size_t count = 0;
+  if (acc != nullptr && acc->enabled()) {
+    for (std::size_t s = 0; s < acc->num_series(); ++s) {
+      const SeriesInterval iv = batch_interval(*acc, s, lanes, input.config.level);
+      JsonValue row = JsonValue::object();
+      row["net"] = s < input.net_names.size() ? JsonValue(input.net_names[s])
+                                              : JsonValue(std::to_string(s));
+      row["toggle_rate"] = iv.mean;
+      row["ci_halfwidth"] = iv.halfwidth;
+      nets.push_back(std::move(row));
+      max_half = std::max(max_half, iv.halfwidth);
+      sum_half += iv.halfwidth;
+      ++count;
+    }
+  }
+  JsonValue net_summary = JsonValue::object();
+  net_summary["max_ci_halfwidth"] = max_half;
+  net_summary["mean_ci_halfwidth"] = count > 0 ? sum_half / static_cast<double>(count) : 0.0;
+  net_summary["nets"] = std::move(nets);
+  section["net_toggle_rate"] = std::move(net_summary);
+  return section;
+}
+
+}  // namespace opiso::obs

@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <ostream>
 
 namespace opiso::obs {
 
@@ -63,6 +65,17 @@ double Histogram::mean() const {
   return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
+Histogram::State Histogram::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  State s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  for (int i = 0; i < kBuckets; ++i) s.buckets[i] = buckets_[i];
+  return s;
+}
+
 JsonValue Histogram::to_json() const {
   std::lock_guard<std::mutex> lock(mu_);
   JsonValue h = JsonValue::object();
@@ -123,6 +136,66 @@ void MetricsRegistry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+/// Prometheus metric name: prefix + the dotted path with every
+/// non-[a-zA-Z0-9_] character replaced by '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "opiso_";
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out += ok ? ch : '_';
+  }
+  return out;
+}
+
+/// Shortest round-trippable decimal, matching how Prometheus clients
+/// conventionally render float samples.
+std::string prometheus_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double parsed = 0.0;
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[64];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+    std::sscanf(probe, "%lf", &parsed);
+    if (parsed == v) return probe;
+  }
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = prometheus_name(name);
+    os << "# TYPE " << pn << " counter\n" << pn << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pn = prometheus_name(name);
+    os << "# TYPE " << pn << " gauge\n" << pn << " " << prometheus_double(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pn = prometheus_name(name);
+    const Histogram::State s = h->state();
+    os << "# TYPE " << pn << " histogram\n";
+    // Cumulative buckets at each occupied power-of-two boundary
+    // (bucket i covers (2^(i-33), 2^(i-32)]), then the +Inf catch-all.
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (s.buckets[i] == 0) continue;
+      cumulative += s.buckets[i];
+      os << pn << "_bucket{le=\"" << prometheus_double(std::pow(2.0, i - 32)) << "\"} "
+         << cumulative << "\n";
+    }
+    os << pn << "_bucket{le=\"+Inf\"} " << s.count << "\n";
+    os << pn << "_sum " << prometheus_double(s.sum) << "\n";
+    os << pn << "_count " << s.count << "\n";
+  }
 }
 
 JsonValue MetricsRegistry::snapshot() const {

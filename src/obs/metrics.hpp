@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -49,6 +50,19 @@ class Gauge {
 
 class Histogram {
  public:
+  static constexpr int kBuckets = 64;  ///< power-of-two buckets, offset by 32
+
+  /// Consistent point-in-time copy of the whole histogram (one lock),
+  /// for exporters that must emit count/sum/buckets from the same
+  /// instant. bucket[i] covers (2^(i-33), 2^(i-32)].
+  struct State {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t buckets[kBuckets] = {};
+  };
+
   /// NaN samples are dropped (they would poison sum/min/max for the
   /// rest of the run); ±inf samples are counted, clamp to the extreme
   /// buckets, and propagate into sum/min/max per IEEE rules.
@@ -58,12 +72,11 @@ class Histogram {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double mean() const;
+  [[nodiscard]] State state() const;
   [[nodiscard]] JsonValue to_json() const;
   void reset();
 
  private:
-  static constexpr int kBuckets = 64;  ///< power-of-two buckets, offset by 32
-
   mutable std::mutex mu_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -89,6 +102,13 @@ class MetricsRegistry {
   /// Nested JSON snapshot: {"bdd": {"unique_hits": 123, ...}, ...}.
   /// Deterministically ordered (sorted by name).
   [[nodiscard]] JsonValue snapshot() const;
+
+  /// Prometheus text exposition (version 0.0.4) of every metric,
+  /// deterministically ordered. Dotted names are sanitized to
+  /// opiso_<name with non-alphanumerics replaced by '_'>; histograms
+  /// export cumulative power-of-two `_bucket{le="..."}` series plus
+  /// `_sum`/`_count`. The JSON snapshot is unaffected.
+  void write_prometheus(std::ostream& os) const;
 
  private:
   mutable std::mutex mu_;

@@ -119,11 +119,18 @@ class Differ {
     if (full()) return;
     entries_.push_back(DiffEntry{join_path(path_), std::move(kind), std::move(av),
                                  std::move(bv), delta, allowed});
+    // A diff on a rule-less path gets a hint at the glob that almost
+    // covered it (schema mismatches excluded: no rule is expected
+    // there, the documents are simply different artifacts).
+    if (current_rule_ == nullptr && entries_.back().kind != "schema") {
+      entries_.back().nearest_rule = spec_.nearest_pattern(path_);
+    }
   }
 
   void compare(const JsonValue& a, const JsonValue& b) {
     if (full()) return;
     const ToleranceRule* rule = spec_.match(path_);
+    current_rule_ = rule;
     if (rule && rule->ignore) return;
 
     if (a.kind() != b.kind()) {
@@ -231,6 +238,7 @@ class Differ {
       path_.push_back(key);
       if (!b.contains(key)) {
         const ToleranceRule* rule = spec_.match(path_);
+        current_rule_ = rule;
         if (!rule || !rule->ignore) report("missing", render(av), "");
       } else {
         compare(av, b.at(key));
@@ -242,6 +250,7 @@ class Differ {
       if (a.contains(key)) continue;
       path_.push_back(key);
       const ToleranceRule* rule = spec_.match(path_);
+      current_rule_ = rule;
       if (!rule || !rule->ignore) report("extra", "", render(bv));
       path_.pop_back();
     }
@@ -251,6 +260,9 @@ class Differ {
   const DiffOptions& options_;
   std::vector<std::string> path_;
   std::vector<DiffEntry> entries_;
+  /// Rule matched for the field currently being compared (null = none);
+  /// report() reads it to decide whether a near-miss hint is due.
+  const ToleranceRule* current_rule_ = nullptr;
 };
 
 }  // namespace
@@ -287,6 +299,43 @@ const ToleranceRule* ToleranceSpec::match(const std::vector<std::string>& path) 
   return nullptr;
 }
 
+std::string ToleranceSpec::nearest_pattern(const std::vector<std::string>& path) const {
+  // Glob-aware longest shared prefix: how many leading path segments
+  // the pattern covers before the two diverge (`**` counts as covering
+  // the segment it sits on). A rule must cover at least one segment to
+  // qualify; ties break toward the pattern whose segment count is
+  // closest to the path's, then toward the earlier rule (matching the
+  // first-match-wins semantics of match()).
+  const ToleranceRule* best = nullptr;
+  std::size_t best_prefix = 0;
+  std::size_t best_len_gap = 0;
+  for (const ToleranceRule& rule : rules_) {
+    std::size_t prefix = 0;
+    while (prefix < rule.pattern.size() && prefix < path.size() &&
+           (rule.pattern[prefix] == "**" ||
+            segment_matches(rule.pattern[prefix], path[prefix]))) {
+      ++prefix;
+    }
+    if (prefix == 0) continue;
+    const std::size_t len_gap = rule.pattern.size() > path.size()
+                                    ? rule.pattern.size() - path.size()
+                                    : path.size() - rule.pattern.size();
+    if (best == nullptr || prefix > best_prefix ||
+        (prefix == best_prefix && len_gap < best_len_gap)) {
+      best = &rule;
+      best_prefix = prefix;
+      best_len_gap = len_gap;
+    }
+  }
+  if (best == nullptr) return "";
+  std::string out;
+  for (const std::string& seg : best->pattern) {
+    if (!out.empty()) out += '.';
+    out += seg;
+  }
+  return out;
+}
+
 std::vector<DiffEntry> diff_reports(const JsonValue& a, const JsonValue& b,
                                     const ToleranceSpec& spec, const DiffOptions& options) {
   return Differ(spec, options).run(a, b);
@@ -306,6 +355,9 @@ void print_diff(std::ostream& os, const std::vector<DiffEntry>& entries) {
       os << ": only in B (" << e.b << ")";
     } else if (e.kind == "length") {
       os << ": array length " << e.a << " != " << e.b;
+    }
+    if (!e.nearest_rule.empty()) {
+      os << "  [no tolerance rule matched; nearest glob: " << e.nearest_rule << "]";
     }
     os << "\n";
   }

@@ -79,6 +79,14 @@ class ToleranceSpec {
   /// First rule whose pattern matches the dotted path, or null.
   [[nodiscard]] const ToleranceRule* match(const std::vector<std::string>& path) const;
 
+  /// Dotted pattern of the rule that comes closest to matching `path`
+  /// (longest glob-aware shared segment prefix; ties break toward the
+  /// pattern whose length is nearest the path's), or "" when no rule
+  /// matches even the first segment. print_diff uses it to hint at the
+  /// tolerance glob that *almost* covered a diverging field — usually
+  /// a one-segment typo or a missing `*` level in the rule file.
+  [[nodiscard]] std::string nearest_pattern(const std::vector<std::string>& path) const;
+
  private:
   std::vector<ToleranceRule> rules_;
 };
@@ -92,6 +100,9 @@ struct DiffEntry {
   std::string b;
   double delta = 0.0;    ///< |a-b| for numeric value diffs
   double allowed = 0.0;  ///< tolerance that was exceeded (0 = exact)
+  /// When no tolerance rule matched this path, the nearest rule glob
+  /// that almost did (see ToleranceSpec::nearest_pattern); "" otherwise.
+  std::string nearest_rule;
 };
 
 struct DiffOptions {

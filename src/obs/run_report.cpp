@@ -26,6 +26,13 @@ JsonValue options_json(const IsolationOptions& opt) {
   o["warmup_cycles"] = opt.warmup_cycles;
   o["max_iterations"] = opt.max_iterations;
   o["register_lookahead"] = opt.activation.register_lookahead;
+  if (opt.confidence.enabled) {
+    o["confidence_level"] = opt.confidence.level;
+    o["confidence_batch_frames"] = opt.confidence.batch_frames;
+    if (opt.confidence.min_power_ci_halfwidth_mw >= 0.0) {
+      o["min_ci_halfwidth_mw"] = opt.confidence.min_power_ci_halfwidth_mw;
+    }
+  }
   return o;
 }
 
@@ -35,6 +42,9 @@ JsonValue candidate_json(const CandidateEvaluation& ev) {
   c["block"] = ev.block;
   c["style"] = std::string(isolation_style_name(ev.style));
   c["pr_redundant"] = ev.pr_redundant;
+  if (ev.pr_redundant_ci_halfwidth > 0.0) {
+    c["pr_redundant_ci_halfwidth"] = ev.pr_redundant_ci_halfwidth;
+  }
   c["primary_mw"] = ev.primary_mw;
   c["secondary_mw"] = ev.secondary_mw;
   c["overhead_mw"] = ev.overhead_mw;
@@ -81,6 +91,10 @@ JsonValue build_run_report(const IsolationResult& result, const IsolationOptions
     JsonValue it = JsonValue::object();
     it["iteration"] = log.iteration;
     it["total_power_mw"] = log.total_power_mw;
+    if (log.power_mw_ci_halfwidth > 0.0) {
+      // The ΔP convergence trace: total power ± this per iteration.
+      it["power_mw_ci_halfwidth"] = log.power_mw_ci_halfwidth;
+    }
     it["pool_size"] = log.pool_size;
     it["num_isolated"] = log.num_isolated;
     JsonValue cands = JsonValue::array();
@@ -101,6 +115,9 @@ JsonValue build_run_report(const IsolationResult& result, const IsolationOptions
     records.push_back(std::move(r));
   }
   doc["isolated_modules"] = std::move(records);
+
+  if (!result.confidence.is_null()) doc["confidence"] = result.confidence;
+  if (!result.coverage.is_null()) doc["coverage"] = result.coverage;
 
   doc["power_attribution"] = build_power_attribution(result);
   if (Tracer::instance().enabled() && Tracer::instance().num_events() > 0) {

@@ -29,6 +29,13 @@
 //     "isolated_modules": [{"cell": "...", "style": "...",
 //                           "as_net": "...", "isolated_bits": ...,
 //                           "activation_literals": ...}],
+//     "confidence": { ...opiso.confidence/v1: batch-means CIs of the
+//                     final measurement — design power ± half-width,
+//                     per-net toggle-rate half-widths (only when
+//                     options.confidence.enabled)... },
+//     "coverage": { ...opiso.coverage/v1: net toggle coverage,
+//                   never-toggled nets, per-candidate activation-signal
+//                   exercise counts of the final measurement... },
 //     "power_attribution": { ...opiso.power_attribution/v1 ledger:
 //                            per-candidate Eq. 1-5 terms whose sums
 //                            equal the candidates[] totals... },

@@ -22,6 +22,19 @@ double PowerEstimator::cell_power_mw(const Netlist& nl, const ActivityStats& sta
   return model_.module_power_mw(c.kind, c.width, rates);
 }
 
+std::vector<double> PowerEstimator::net_toggle_weights(const Netlist& nl) const {
+  std::vector<double> weights(nl.num_nets(), 0.0);
+  for (CellId id : nl.cell_ids()) {
+    const Cell& c = nl.cell(id);
+    for (std::size_t p = 0; p < c.ins.size(); ++p) {
+      weights[c.ins[p].value()] +=
+          model_.energy_per_toggle_pj(c.kind, c.width, static_cast<int>(p)) *
+          model_.clock_freq_mhz * 1e-3;
+    }
+  }
+  return weights;
+}
+
 PowerBreakdown PowerEstimator::estimate(const Netlist& nl, const ActivityStats& stats) const {
   OPISO_SPAN("power.estimate");
   obs::metrics().counter("power.estimates").add(1);

@@ -40,6 +40,14 @@ class PowerEstimator {
 
   [[nodiscard]] PowerBreakdown estimate(const Netlist& nl, const ActivityStats& stats) const;
 
+  /// Exact per-net sensitivity dP_total/dTr_net in mW per (toggle/
+  /// cycle): the macro model is strictly linear in every port's toggle
+  /// rate, so total power is static_mw + Σ_n weight_n · Tr_n. The
+  /// confidence layer turns per-net batch toggle counts into a
+  /// design-power confidence interval through this vector without any
+  /// re-estimation.
+  [[nodiscard]] std::vector<double> net_toggle_weights(const Netlist& nl) const;
+
   [[nodiscard]] const MacroPowerModel& model() const { return model_; }
 
  private:

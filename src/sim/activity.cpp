@@ -74,6 +74,8 @@ void ActivityStats::merge(const ActivityStats& other) {
     probe_true[p] += other.probe_true[p];
     probe_toggles[p] += other.probe_toggles[p];
   }
+  net_batches.merge(other.net_batches);
+  probe_batches.merge(other.probe_batches);
   if (!other.bit_toggles.empty()) {
     if (bit_toggles.empty()) {
       bit_toggles = other.bit_toggles;
@@ -96,6 +98,43 @@ void ActivityStats::reset() {
   std::fill(probe_true.begin(), probe_true.end(), 0);
   std::fill(probe_toggles.begin(), probe_toggles.end(), 0);
   for (auto& bits : bit_toggles) std::fill(bits.begin(), bits.end(), 0);
+  net_batches.reset();
+  probe_batches.reset();
+}
+
+obs::JsonValue build_confidence_section(const Netlist& nl, const ActivityStats& stats,
+                                        const obs::ConfidenceConfig& config,
+                                        const std::vector<double>& net_power_weights_mw) {
+  obs::ConfidenceInput input;
+  input.nets = &stats.net_batches;
+  input.cycles = stats.cycles;
+  input.net_names.reserve(nl.num_nets());
+  for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+    input.net_names.push_back(nl.net(NetId(static_cast<std::uint32_t>(n))).name);
+  }
+  input.power_weights_mw = net_power_weights_mw;
+  input.config = config;
+  return obs::build_confidence_section(input);
+}
+
+obs::JsonValue build_coverage_section(const Netlist& nl, const ActivityStats& stats,
+                                      const std::vector<CandidateExercise>& candidates) {
+  obs::CoverageInput input;
+  input.cycles = stats.cycles;
+  input.net_names.reserve(nl.num_nets());
+  for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+    input.net_names.push_back(nl.net(NetId(static_cast<std::uint32_t>(n))).name);
+  }
+  input.net_toggles = stats.toggles;
+  for (const CandidateExercise& c : candidates) {
+    obs::CoverageInput::Candidate out;
+    out.cell = c.cell;
+    out.active_cycles = c.probe < stats.probe_true.size() ? stats.probe_true[c.probe] : 0;
+    out.activation_toggles =
+        c.probe < stats.probe_toggles.size() ? stats.probe_toggles[c.probe] : 0;
+    input.candidates.push_back(std::move(out));
+  }
+  return obs::build_coverage_section(input);
 }
 
 }  // namespace opiso

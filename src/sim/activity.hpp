@@ -18,6 +18,8 @@
 
 #include "boolfn/expr.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/confidence.hpp"
+#include "obs/coverage.hpp"
 
 namespace opiso {
 
@@ -51,6 +53,15 @@ struct ActivityStats {
   std::vector<std::vector<std::uint64_t>> bit_toggles;
   std::vector<std::uint64_t> probe_true; ///< per probe: cycles where expr held
   std::vector<std::uint64_t> probe_toggles; ///< per probe: value changes between cycles
+  /// Batch-means moments behind the confidence layer (obs/confidence
+  /// .hpp): exact per-window integer event counts for nets (bit
+  /// toggles) and probes (lanes where the expression held). Disabled
+  /// unless the engine was asked to collect them; counted only over
+  /// measured frames (reset clears the warmup accumulation), and
+  /// carried through merge/incremental splicing so confidence
+  /// intervals stay bitwise identical across engines and partitions.
+  obs::BatchAccumulator net_batches;
+  obs::BatchAccumulator probe_batches;
 
   /// Average bit toggles per cycle over the whole word (the paper's Tr).
   [[nodiscard]] double toggle_rate(NetId net) const;
@@ -74,5 +85,23 @@ struct ActivityStats {
 
   void reset();
 };
+
+/// Per-candidate activation-signal exercise counts for the coverage
+/// section (filled by the isolation layer from its probe indices).
+struct CandidateExercise {
+  std::string cell;
+  std::size_t probe = 0;  ///< activation probe (Pr[f_i]) index
+};
+
+/// Adapters from simulation statistics to the layer-agnostic obs
+/// section builders. `net_power_weights_mw` is the macro model's exact
+/// per-net dP/dTr vector (power/estimator.hpp); empty disables the
+/// design-power interval.
+[[nodiscard]] obs::JsonValue build_confidence_section(
+    const Netlist& nl, const ActivityStats& stats, const obs::ConfidenceConfig& config,
+    const std::vector<double>& net_power_weights_mw);
+[[nodiscard]] obs::JsonValue build_coverage_section(
+    const Netlist& nl, const ActivityStats& stats,
+    const std::vector<CandidateExercise>& candidates);
 
 }  // namespace opiso

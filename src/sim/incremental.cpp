@@ -150,7 +150,8 @@ std::vector<bool> dirty_net_mask(const Netlist& nl, const std::vector<CellId>& c
   return dirty;
 }
 
-ActivityStats make_stats_shape(const Netlist& nl, std::size_t num_probes, bool bit_stats) {
+ActivityStats make_stats_shape(const Netlist& nl, std::size_t num_probes, bool bit_stats,
+                               std::uint32_t batch_frames) {
   ActivityStats s;
   s.toggles.assign(nl.num_nets(), 0);
   s.ones.assign(nl.num_nets(), 0);
@@ -160,6 +161,10 @@ ActivityStats make_stats_shape(const Netlist& nl, std::size_t num_probes, bool b
   }
   s.probe_true.assign(num_probes, 0);
   s.probe_toggles.assign(num_probes, 0);
+  if (batch_frames != 0) {
+    s.net_batches.configure(nl.num_nets(), batch_frames);
+    s.probe_batches.configure(num_probes, batch_frames);
+  }
   return s;
 }
 
@@ -260,6 +265,7 @@ ActivityStats IncrementalSession::full_measure_with_probes(const Netlist& nl,
   if (cfg_.engine == SimEngineKind::Parallel) {
     ParallelSimulator sim(nl, cfg_.lanes, pool, vars);
     if (cfg_.bit_stats) sim.enable_bit_stats();
+    if (cfg_.batch_frames != 0) sim.enable_batch_stats(cfg_.batch_frames);
     for (ExprRef p : probes) (void)sim.add_probe(p);
     sim.set_stimulus(lane_stimuli_);
     if (capture) sim.set_frame_sink(&tape_sink);
@@ -270,6 +276,7 @@ ActivityStats IncrementalSession::full_measure_with_probes(const Netlist& nl,
   } else {
     Simulator sim(nl, pool, vars);
     if (cfg_.bit_stats) sim.enable_bit_stats();
+    if (cfg_.batch_frames != 0) sim.enable_batch_stats(cfg_.batch_frames);
     for (ExprRef p : probes) (void)sim.add_probe(p);
     if (capture) sim.set_frame_sink(&tape_sink);
     std::unique_ptr<Stimulus> stim = stimuli_();
@@ -303,6 +310,10 @@ ActivityStats IncrementalSession::assemble(const Netlist& nl, const std::vector<
     if (!replayed.bit_toggles.empty() && !base_stats_.bit_toggles.empty()) {
       replayed.bit_toggles[n] = base_stats_.bit_toggles[n];
     }
+    // Batch-means cells partition exactly like the counters above:
+    // clean nets carry the baseline's per-window cells, dirty nets keep
+    // the replayed ones (probe cells were fully recomputed already).
+    replayed.net_batches.copy_series(base_stats_.net_batches, n);
   }
   replayed.cycles = base_stats_.cycles;
   return std::move(replayed);
@@ -328,7 +339,7 @@ ActivityStats IncrementalSession::replay_scalar(const Netlist& nl, const ExprPoo
   std::vector<std::uint64_t> mask(nn);
   for (NetId id : nl.net_ids()) mask[id.value()] = width_mask(nl.net(id).width);
 
-  ActivityStats rs = make_stats_shape(nl, probes.size(), cfg_.bit_stats);
+  ActivityStats rs = make_stats_shape(nl, probes.size(), cfg_.bit_stats, cfg_.batch_frames);
   std::vector<bool> prev_probe(probes.size(), false);
   std::vector<std::uint32_t> sink_toggles(sink ? nn : 0, 0);
 
@@ -358,11 +369,17 @@ ActivityStats IncrementalSession::replay_scalar(const Netlist& nl, const ExprPoo
           eval_scalar_cell(c, value.data(), state[id.value()]) & mask[c.out.value()];
     }
     const bool measured = f >= warmup_frames_;
+    if (measured && rs.net_batches.enabled()) {
+      rs.net_batches.begin_frame();
+      rs.probe_batches.begin_frame();
+    }
     if (measured) {
       if (f > 0) {
         for (std::uint32_t n : dirty_nets) {
           std::uint64_t diff = value[n] ^ prev[n];
-          rs.toggles[n] += static_cast<std::uint64_t>(std::popcount(diff));
+          const auto pc = static_cast<std::uint64_t>(std::popcount(diff));
+          rs.toggles[n] += pc;
+          rs.net_batches.add(n, pc);
           if (!rs.bit_toggles.empty()) {
             auto& bits = rs.bit_toggles[n];
             while (diff) {
@@ -392,7 +409,10 @@ ActivityStats IncrementalSession::replay_scalar(const Netlist& nl, const ExprPoo
         return (value[vars->net_of(v).value()] & 1) != 0;
       });
       if (measured) {
-        if (hold) ++rs.probe_true[p];
+        if (hold) {
+          ++rs.probe_true[p];
+          rs.probe_batches.add(p, 1);
+        }
         if (f > 0 && hold != prev_probe[p]) ++rs.probe_toggles[p];
       }
       prev_probe[p] = hold;
@@ -449,7 +469,7 @@ ActivityStats IncrementalSession::replay_parallel(const Netlist& nl, const ExprP
   std::vector<std::uint64_t> prev(planes_total * K, 0);
   std::vector<std::uint64_t> state(state_planes * K, 0);
 
-  ActivityStats rs = make_stats_shape(nl, probes.size(), cfg_.bit_stats);
+  ActivityStats rs = make_stats_shape(nl, probes.size(), cfg_.bit_stats, cfg_.batch_frames);
   std::vector<std::uint64_t> prev_probe(probes.size() * K, 0);
   std::vector<std::uint32_t> sink_toggles(sink ? nl.num_nets() : 0, 0);
   LaneExprEval expr_eval(pool, vars, plane_off, lane_mask);
@@ -460,6 +480,10 @@ ActivityStats IncrementalSession::replay_parallel(const Netlist& nl, const ExprP
                 frame_words_ * sizeof(std::uint64_t));
     eval_plane_program(prog, planes.data(), state.data(), lane_mask.data());
     const bool measured = f >= warmup_frames_;
+    if (measured && rs.net_batches.enabled()) {
+      rs.net_batches.begin_frame();
+      rs.probe_batches.begin_frame();
+    }
     if (measured) {
       for (NetId id : nl.net_ids()) {
         const std::size_t n = id.value();
@@ -478,6 +502,7 @@ ActivityStats IncrementalSession::replay_parallel(const Netlist& nl, const ExprP
             if (!rs.bit_toggles.empty()) rs.bit_toggles[n][b] += pc;
           }
           rs.toggles[n] += total;
+          rs.net_batches.add(n, total);
         }
         std::uint64_t ones_pc = 0;
         for (unsigned k = 0; k < K; ++k) {
@@ -515,6 +540,7 @@ ActivityStats IncrementalSession::replay_parallel(const Netlist& nl, const ExprP
         }
         if (measured) {
           rs.probe_true[p] += pc_true;
+          rs.probe_batches.add(p, pc_true);
           if (f > 0) rs.probe_toggles[p] += pc_tog;
         }
       }

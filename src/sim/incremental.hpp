@@ -70,6 +70,11 @@ struct IncrementalConfig {
   bool verify_stimulus = false;
   /// Collect per-bit toggle statistics in every round.
   bool bit_stats = false;
+  /// Collect batch-means moments (obs/confidence.hpp) in every round:
+  /// replays recompute dirty-net and probe cells and splice the carried
+  /// clean-net cells, so the confidence section stays bitwise identical
+  /// to full re-simulation. 0 disables.
+  std::uint32_t batch_frames = 0;
 };
 
 class IncrementalSession {

@@ -74,6 +74,9 @@ std::size_t ParallelSimulator::add_probe(ExprRef expr) {
   prev_probe_.insert(prev_probe_.end(), K, 0);
   stats_.probe_true.push_back(0);
   stats_.probe_toggles.push_back(0);
+  if (stats_.net_batches.enabled()) {
+    stats_.probe_batches.configure(probes_.size(), stats_.net_batches.batch_frames());
+  }
   return probes_.size() - 1;
 }
 
@@ -124,6 +127,11 @@ void ParallelSimulator::enable_bit_stats() {
   for (NetId id : nl_.net_ids()) {
     stats_.bit_toggles[id.value()].assign(nl_.net(id).width, 0);
   }
+}
+
+void ParallelSimulator::enable_batch_stats(std::uint32_t batch_frames) {
+  stats_.net_batches.configure(nl_.num_nets(), batch_frames);
+  stats_.probe_batches.configure(probes_.size(), batch_frames);
 }
 
 namespace {
@@ -324,6 +332,11 @@ void ParallelSimulator::set_cycle_sink(CycleSink* sink) {
 
 void ParallelSimulator::record_stats() {
   const bool bits = !stats_.bit_toggles.empty();
+  const bool batches = stats_.net_batches.enabled();
+  if (batches) {
+    stats_.net_batches.begin_frame();
+    stats_.probe_batches.begin_frame();
+  }
   for (NetId id : nl_.net_ids()) {
     const std::size_t n = id.value();
     const unsigned width = nl_.net(id).width;
@@ -340,6 +353,7 @@ void ParallelSimulator::record_stats() {
         if (bits) stats_.bit_toggles[n][b] += pc;
       }
       stats_.toggles[n] += total;
+      if (batches) stats_.net_batches.add(n, total);
       if (sink_) sink_toggles_[n] = static_cast<std::uint32_t>(total);
     }
     std::uint64_t ones_pc = 0;
@@ -365,6 +379,7 @@ void ParallelSimulator::record_stats() {
         prev_probe_[p * K + k] = hold[k];
       }
       stats_.probe_true[p] += pc_true;
+      if (batches) stats_.probe_batches.add(p, pc_true);
       if (has_prev_) stats_.probe_toggles[p] += pc_tog;
     }
   }

@@ -91,6 +91,11 @@ class ParallelSimulator : public ProbeHost {
   void set_frame_sink(FrameSink* sink) { frame_sink_ = sink; }
   /// Collect per-bit toggle counts (dual-bit-type power models).
   void enable_bit_stats();
+  /// Collect batch-means moments (obs/confidence.hpp). Each macro-cycle
+  /// adds the lane-folded toggle popcount per net and the lanes-true
+  /// popcount per probe to the current window's cells — bitwise
+  /// identical to merging the per-lane scalar accumulators.
+  void enable_batch_stats(std::uint32_t batch_frames);
 
   [[nodiscard]] const ActivityStats& stats() const { return stats_; }
   [[nodiscard]] unsigned lanes() const { return lanes_; }

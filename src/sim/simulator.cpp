@@ -45,6 +45,9 @@ std::size_t Simulator::add_probe(ExprRef expr) {
   prev_probe_.push_back(false);
   stats_.probe_true.push_back(0);
   stats_.probe_toggles.push_back(0);
+  if (stats_.net_batches.enabled()) {
+    stats_.probe_batches.configure(probes_.size(), stats_.net_batches.batch_frames());
+  }
   return probes_.size() - 1;
 }
 
@@ -75,17 +78,28 @@ void Simulator::enable_bit_stats() {
   }
 }
 
+void Simulator::enable_batch_stats(std::uint32_t batch_frames) {
+  stats_.net_batches.configure(nl_.num_nets(), batch_frames);
+  stats_.probe_batches.configure(probes_.size(), batch_frames);
+}
+
 void Simulator::set_cycle_sink(CycleSink* sink) {
   sink_ = sink;
   if (sink_) sink_toggles_.assign(nl_.num_nets(), 0);
 }
 
 void Simulator::record_stats() {
+  const bool batches = stats_.net_batches.enabled();
+  if (batches) {
+    stats_.net_batches.begin_frame();
+    stats_.probe_batches.begin_frame();
+  }
   if (has_prev_) {
     for (std::size_t n = 0; n < value_.size(); ++n) {
       std::uint64_t diff = value_[n] ^ prev_[n];
       const auto pc = static_cast<std::uint32_t>(std::popcount(diff));
       stats_.toggles[n] += pc;
+      if (batches) stats_.net_batches.add(n, pc);
       if (sink_) sink_toggles_[n] = pc;
       if (!stats_.bit_toggles.empty()) {
         auto& bits = stats_.bit_toggles[n];
@@ -108,7 +122,10 @@ void Simulator::record_stats() {
     const bool hold = pool_->eval(probes_[p], [&](BoolVar v) {
       return (value_[vars_->net_of(v).value()] & 1) != 0;
     });
-    if (hold) ++stats_.probe_true[p];
+    if (hold) {
+      ++stats_.probe_true[p];
+      if (batches) stats_.probe_batches.add(p, 1);
+    }
     if (has_prev_ && hold != prev_probe_[p]) ++stats_.probe_toggles[p];
     prev_probe_[p] = hold;
   }

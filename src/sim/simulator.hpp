@@ -78,6 +78,12 @@ class Simulator : public ProbeHost {
   /// models). Costs one pass over the set bits of each changed word.
   void enable_bit_stats();
 
+  /// Collect batch-means moments (obs/confidence.hpp): per-window
+  /// toggle counts for every net and true-counts for every probe, the
+  /// raw material of the confidence report section. One add per net
+  /// per cycle; warmup accumulation is discarded by reset_stats.
+  void enable_batch_stats(std::uint32_t batch_frames);
+
  private:
   void settle_combinational();
   void clock_registers();

@@ -102,6 +102,7 @@ SweepResult run_sweep_task_impl(const SweepTask& task, const SweepBudget& budget
     IsolationOptions opt = *task.isolate;
     opt.sim_engine = task.engine;
     opt.sim_lanes = task.lanes;
+    if (task.confidence.enabled) opt.confidence = task.confidence;
     const std::uint64_t scale = task.engine == SimEngineKind::Parallel ? task.lanes : 1;
     opt.sim_cycles = task.cycles * scale;
     opt.warmup_cycles = task.warmup * scale;
@@ -121,6 +122,13 @@ SweepResult run_sweep_task_impl(const SweepTask& task, const SweepBudget& budget
     const IsolationResult res = run_operand_isolation(
         nl, [&task] { return make_task_stimulus(task, task.seed); }, opt);
     guard.advance(opt.sim_cycles);  // the final post-loop measurement
+    if (opt.confidence.enabled && !res.confidence_converged) {
+      throw Error(ErrCode::ConfidenceUnconverged,
+                  "sweep task '" + task.design +
+                      "': power CI half-width misses the requested gate of " +
+                      std::to_string(opt.confidence.min_power_ci_halfwidth_mw) +
+                      " mW (simulate more cycles or widen the gate)");
+    }
 
     SweepResult r;
     r.design = task.design;
@@ -135,12 +143,15 @@ SweepResult run_sweep_task_impl(const SweepTask& task, const SweepBudget& budget
     r.iterations = res.iterations.size();
     r.modules_isolated = res.records.size();
     r.power_mw = res.power_after_mw;
+    if (opt.confidence.enabled) r.confidence = res.confidence;
+    r.coverage = res.coverage;
     return r;
   }
 
   ActivityStats stats;
   if (task.engine == SimEngineKind::Parallel) {
     ParallelSimulator sim(nl, task.lanes);
+    if (task.confidence.enabled) sim.enable_batch_stats(task.confidence.batch_frames);
     sim.set_stimulus([&](unsigned lane) {
       return make_task_stimulus(task, sweep_lane_seed(task.seed, lane));
     });
@@ -161,6 +172,7 @@ SweepResult run_sweep_task_impl(const SweepTask& task, const SweepBudget& budget
     // must reproduce bit for bit.
     for (unsigned lane = 0; lane < task.lanes; ++lane) {
       Simulator sim(nl);
+      if (task.confidence.enabled) sim.enable_batch_stats(task.confidence.batch_frames);
       std::unique_ptr<Stimulus> stim = make_task_stimulus(task, sweep_lane_seed(task.seed, lane));
       if (task.warmup > 0) {
         sim.warmup(*stim, task.warmup);
@@ -184,6 +196,25 @@ SweepResult run_sweep_task_impl(const SweepTask& task, const SweepBudget& budget
   r.lane_cycles = stats.cycles;
   r.toggles = std::accumulate(stats.toggles.begin(), stats.toggles.end(), std::uint64_t{0});
   r.power_mw = PowerEstimator().estimate(nl, stats).total_mw;
+  if (task.confidence.enabled) {
+    const std::vector<double> weights = PowerEstimator().net_toggle_weights(nl);
+    r.confidence = build_confidence_section(nl, stats, task.confidence, weights);
+    r.coverage = build_coverage_section(nl, stats, {});
+    if (task.confidence.min_power_ci_halfwidth_mw >= 0.0) {
+      const std::uint64_t frames = stats.net_batches.num_frames();
+      const std::uint64_t lanes = frames > 0 ? stats.cycles / frames : 0;
+      const obs::SeriesInterval pw =
+          obs::weighted_interval(stats.net_batches, weights, lanes, task.confidence.level);
+      if (pw.batches < 2 || pw.halfwidth > task.confidence.min_power_ci_halfwidth_mw) {
+        throw Error(ErrCode::ConfidenceUnconverged,
+                    "sweep task '" + task.design + "': power CI half-width " +
+                        std::to_string(pw.halfwidth) + " mW after " +
+                        std::to_string(pw.batches) + " batches misses the requested gate of " +
+                        std::to_string(task.confidence.min_power_ci_halfwidth_mw) +
+                        " mW (simulate more cycles or widen the gate)");
+      }
+    }
+  }
   return r;
 }
 
@@ -376,6 +407,10 @@ obs::JsonValue build_sweep_report(const SweepOutcome& outcome) {
       t["iterations"] = r.iterations;
       t["modules_isolated"] = r.modules_isolated;
     }
+    // Additive confidence/coverage sections (task.confidence.enabled);
+    // rows without them keep the v1 shape unchanged.
+    if (!r.confidence.is_null()) t["confidence"] = r.confidence;
+    if (!r.coverage.is_null()) t["coverage"] = r.coverage;
     tasks.push_back(std::move(t));
     lane_cycles += r.lane_cycles;
     toggles += r.toggles;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "obs/confidence.hpp"
 #include "obs/json.hpp"
 #include "sim/engine.hpp"
 #include "sim/parallel_sim.hpp"
@@ -50,6 +51,15 @@ struct SweepTask {
   /// a pure function of its own fields. Shared across tasks (the sweep
   /// never mutates it).
   std::shared_ptr<const IsolationOptions> isolate;
+  /// Batch-means confidence collection (obs/confidence.hpp). When
+  /// enabled the task's report row gains opiso.confidence/v1 and
+  /// opiso.coverage/v1 sections — bitwise identical across engines,
+  /// --threads values, and plane widths, because the accumulated window
+  /// moments are exact integers. A min_power_ci_halfwidth_mw >= 0 gate
+  /// *fails* an under-converged task (confidence.under-converged in
+  /// opiso.task_failures/v1) instead of silently extending it. In
+  /// isolate mode this is installed on the IsolationOptions copy.
+  obs::ConfidenceConfig confidence{};
 };
 
 struct SweepResult {
@@ -68,6 +78,10 @@ struct SweepResult {
   double power_reduction_pct = 0.0;
   std::uint64_t iterations = 0;         ///< Algorithm-1 iterations run
   std::uint64_t modules_isolated = 0;   ///< banks committed
+
+  // -- confidence extras (task.confidence.enabled); null otherwise ----------
+  obs::JsonValue confidence;  ///< opiso.confidence/v1 section
+  obs::JsonValue coverage;    ///< opiso.coverage/v1 section
 };
 
 /// Per-task resource budget. Zero fields are unlimited. The stimulus

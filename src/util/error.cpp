@@ -33,6 +33,7 @@ const char* error_code_name(ErrCode code) noexcept {
     case ErrCode::LintIsolationUnsound: return "lint.isolation_unsound";
     case ErrCode::LintIsolationUnproven: return "lint.isolation_unproven";
     case ErrCode::LintIsolationOverhead: return "lint.isolation_overhead";
+    case ErrCode::ConfidenceUnconverged: return "confidence.under-converged";
   }
   return "unknown";
 }

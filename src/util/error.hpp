@@ -66,6 +66,7 @@ enum class ErrCode : std::uint16_t {
   LintIsolationUnsound,   ///< AS = 0 does not imply the output is unobserved
   LintIsolationUnproven,  ///< soundness proof exceeded its BDD budget
   LintIsolationOverhead,  ///< AS gating depth eats into the STA slack
+  ConfidenceUnconverged,  ///< power CI half-width above the requested gate
 };
 
 enum class Severity : std::uint8_t {

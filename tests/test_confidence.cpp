@@ -1,0 +1,266 @@
+// Batch-means confidence layer: the accumulator's integer cells must be
+// bitwise identical for every partition of the lanes x frames work
+// across merge calls (this is what makes the opiso.confidence/v1
+// section engine/thread/width-invariant), the Student-t quantiles must
+// match closed forms, and — the statistical contract — roughly 95% of
+// the reported 95% intervals must actually cover the long-run truth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "designs/designs.hpp"
+#include "obs/confidence.hpp"
+#include "power/estimator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "sim/sweep.hpp"
+
+namespace opiso {
+namespace {
+
+using obs::BatchAccumulator;
+using obs::SeriesInterval;
+
+TEST(TQuantile, MatchesClosedFormsAndNormalLimit) {
+  // df = 1: t = tan(pi * level / 2).
+  EXPECT_NEAR(obs::student_t_quantile(0.95, 1), 12.7062047362, 1e-6);
+  EXPECT_NEAR(obs::student_t_quantile(0.50, 1), 1.0, 1e-12);
+  // df = 2: closed form sqrt(2/(a(2-a)) - 2), a = 1 - level.
+  EXPECT_NEAR(obs::student_t_quantile(0.95, 2), 4.3026527297, 1e-6);
+  // Reference values (df >= 3 uses the Cornish-Fisher expansion).
+  EXPECT_NEAR(obs::student_t_quantile(0.95, 5), 2.5705818356, 1e-3);
+  EXPECT_NEAR(obs::student_t_quantile(0.95, 15), 2.1314495456, 1e-4);
+  EXPECT_NEAR(obs::student_t_quantile(0.99, 15), 2.9467128835, 1e-3);
+  // Large df converges to the normal quantile.
+  EXPECT_NEAR(obs::student_t_quantile(0.95, 100000), 1.9599639845, 1e-4);
+  // Monotone: wider level and fewer df both widen the interval.
+  EXPECT_GT(obs::student_t_quantile(0.99, 10), obs::student_t_quantile(0.95, 10));
+  EXPECT_GT(obs::student_t_quantile(0.95, 3), obs::student_t_quantile(0.95, 30));
+}
+
+TEST(BatchAccumulator, WindowsFillAndPartialTrailing) {
+  BatchAccumulator acc;
+  EXPECT_FALSE(acc.enabled());
+  acc.begin_frame();  // no-op while disabled
+  acc.configure(2, 4);
+  ASSERT_TRUE(acc.enabled());
+  for (int f = 0; f < 10; ++f) {
+    acc.begin_frame();
+    acc.add(0, 1);
+    acc.add(1, static_cast<std::uint64_t>(f));
+  }
+  EXPECT_EQ(acc.num_frames(), 10u);
+  EXPECT_EQ(acc.complete_windows(), 2u);  // trailing 2 frames stay partial
+  EXPECT_EQ(acc.cell(0, 0), 4u);
+  EXPECT_EQ(acc.cell(0, 1), 0u + 1 + 2 + 3);
+  EXPECT_EQ(acc.cell(1, 1), 4u + 5 + 6 + 7);
+  EXPECT_EQ(acc.cell(2, 0), 2u);  // partial window carried exactly
+  acc.reset();
+  EXPECT_TRUE(acc.enabled());
+  EXPECT_EQ(acc.num_frames(), 0u);
+}
+
+/// Deterministic synthetic event count for (frame, lane, series).
+std::uint64_t event_count(std::uint64_t frame, unsigned lane, std::size_t series) {
+  std::uint64_t h = frame * 0x9E3779B97F4A7C15ull + lane * 0xBF58476D1CE4E5B9ull +
+                    series * 0x94D049BB133111EBull + 1;
+  h ^= h >> 31;
+  return h % 5;  // small counts, like per-frame bit toggles
+}
+
+/// One accumulator covering `lanes` (a subset) over `frames` frames.
+BatchAccumulator accumulate_lanes(const std::vector<unsigned>& lanes, std::uint64_t frames,
+                                  std::size_t num_series, std::uint32_t batch_frames) {
+  BatchAccumulator acc;
+  acc.configure(num_series, batch_frames);
+  for (std::uint64_t f = 0; f < frames; ++f) {
+    acc.begin_frame();
+    for (unsigned lane : lanes) {
+      for (std::size_t s = 0; s < num_series; ++s) acc.add(s, event_count(f, lane, s));
+    }
+  }
+  return acc;
+}
+
+void expect_same_cells(const BatchAccumulator& a, const BatchAccumulator& b) {
+  ASSERT_EQ(a.num_frames(), b.num_frames());
+  ASSERT_EQ(a.complete_windows(), b.complete_windows());
+  ASSERT_EQ(a.num_series(), b.num_series());
+  const std::uint64_t windows =
+      (a.num_frames() + a.batch_frames() - 1) / a.batch_frames();
+  for (std::uint64_t w = 0; w < windows; ++w) {
+    for (std::size_t s = 0; s < a.num_series(); ++s) {
+      ASSERT_EQ(a.cell(w, s), b.cell(w, s)) << "window " << w << " series " << s;
+    }
+  }
+}
+
+// The tentpole invariant, fuzzed: for ANY partition of the lanes into
+// groups (one accumulator per group, as per-thread or per-lane engines
+// produce) and ANY merge order, the merged cells are bitwise identical
+// to the single-pass reference. Integer addition is associative and
+// commutative; this test pins that the implementation actually leans
+// on nothing else.
+TEST(BatchAccumulator, MergeInvariantUnderAnyLanePartitionFuzz) {
+  std::mt19937 rng(0xC0FFEEu);  // fixed seed: failures must reproduce
+  for (int iter = 0; iter < 60; ++iter) {
+    const unsigned num_lanes = 1 + rng() % 8;
+    const std::size_t num_series = 1 + rng() % 6;
+    const std::uint32_t batch_frames = 1 + rng() % 7;
+    const std::uint64_t frames = 1 + rng() % 40;
+
+    std::vector<unsigned> all_lanes(num_lanes);
+    std::iota(all_lanes.begin(), all_lanes.end(), 0u);
+    const BatchAccumulator ref =
+        accumulate_lanes(all_lanes, frames, num_series, batch_frames);
+
+    // Random partition: shuffle the lanes, cut into 1..num_lanes groups.
+    std::shuffle(all_lanes.begin(), all_lanes.end(), rng);
+    const unsigned groups = 1 + rng() % num_lanes;
+    std::vector<BatchAccumulator> parts;
+    for (unsigned g = 0; g < groups; ++g) {
+      std::vector<unsigned> mine;
+      for (unsigned i = g; i < num_lanes; i += groups) mine.push_back(all_lanes[i]);
+      if (mine.empty()) continue;
+      parts.push_back(accumulate_lanes(mine, frames, num_series, batch_frames));
+    }
+    // Random merge order — commutativity — folded pairwise in a random
+    // tree shape — associativity.
+    std::shuffle(parts.begin(), parts.end(), rng);
+    while (parts.size() > 1) {
+      const std::size_t i = rng() % (parts.size() - 1);
+      parts[i].merge(parts[i + 1]);
+      parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    }
+    // Merging into an unconfigured accumulator adopts the other side.
+    BatchAccumulator from_empty;
+    from_empty.merge(parts[0]);
+    expect_same_cells(ref, parts[0]);
+    expect_same_cells(ref, from_empty);
+  }
+}
+
+TEST(BatchAccumulator, CopySeriesIsStrideAware) {
+  // Source covers a 4-net design, destination a 2-net one: copy_series
+  // must index each side under its own num_series stride (this is how
+  // incremental replay splices carried-forward clean-net windows).
+  BatchAccumulator src = accumulate_lanes({0, 1}, 11, 4, 4);
+  BatchAccumulator dst = accumulate_lanes({2}, 7, 2, 4);
+  const std::uint64_t dst_s0_w0 = dst.cell(0, 0);
+  dst.copy_series(src, 1);
+  EXPECT_EQ(dst.num_frames(), 11u);  // adopts the longer frame count
+  for (std::uint64_t w = 0; w < 3; ++w) {
+    EXPECT_EQ(dst.cell(w, 1), src.cell(w, 1)) << "window " << w;
+  }
+  EXPECT_EQ(dst.cell(0, 0), dst_s0_w0);  // other series untouched
+}
+
+TEST(BatchInterval, DegenerateAndConstantSeries) {
+  BatchAccumulator acc;
+  acc.configure(1, 4);
+  // One complete window: no interval yet.
+  for (int f = 0; f < 4; ++f) {
+    acc.begin_frame();
+    acc.add(0, 2);
+  }
+  SeriesInterval one = obs::batch_interval(acc, 0, 1, 0.95);
+  EXPECT_EQ(one.batches, 1u);
+  EXPECT_DOUBLE_EQ(one.halfwidth, 0.0);
+  // Constant rate across windows: zero variance, zero half-width.
+  for (int f = 0; f < 12; ++f) {
+    acc.begin_frame();
+    acc.add(0, 2);
+  }
+  SeriesInterval flat = obs::batch_interval(acc, 0, 1, 0.95);
+  EXPECT_EQ(flat.batches, 4u);
+  EXPECT_DOUBLE_EQ(flat.mean, 2.0);
+  EXPECT_DOUBLE_EQ(flat.halfwidth, 0.0);
+}
+
+// End-to-end engine/thread identity on the real pipeline: a plain
+// sweep task with confidence enabled must emit byte-identical
+// opiso.confidence/v1 and opiso.coverage/v1 sections from the scalar
+// engine (one Simulator per lane, stats merged) and the bit-parallel
+// plane engine, on one worker thread or eight.
+TEST(SweepConfidence, SectionsIdenticalAcrossEnginesAndThreads) {
+  auto make_tasks = [](SimEngineKind engine) {
+    std::vector<SweepTask> tasks;
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      SweepTask t;
+      t.design = "design1";
+      t.make_design = [] { return make_design1(); };
+      t.seed = seed;
+      t.cycles = 128;
+      t.lanes = 16;
+      t.engine = engine;
+      t.confidence.enabled = true;
+      t.confidence.batch_frames = 2;
+      tasks.push_back(t);
+    }
+    return tasks;
+  };
+  const std::vector<SweepResult> par1 = SweepRunner(1).run(make_tasks(SimEngineKind::Parallel));
+  const std::vector<SweepResult> par8 = SweepRunner(8).run(make_tasks(SimEngineKind::Parallel));
+  const std::vector<SweepResult> scal = SweepRunner(4).run(make_tasks(SimEngineKind::Scalar));
+  ASSERT_EQ(par1.size(), scal.size());
+  for (std::size_t i = 0; i < par1.size(); ++i) {
+    EXPECT_FALSE(par1[i].confidence.is_null());
+    EXPECT_EQ(par1[i].confidence.dump(), par8[i].confidence.dump());
+    EXPECT_EQ(par1[i].confidence.dump(), scal[i].confidence.dump());
+    EXPECT_EQ(par1[i].coverage.dump(), scal[i].coverage.dump());
+    EXPECT_EQ(par1[i].coverage.dump(), par8[i].coverage.dump());
+  }
+}
+
+// Statistical calibration: run many short fixed-seed measurements of
+// design1, report a 95% CI on the macro-model power each time, and
+// check the intervals cover the long-run truth at roughly the nominal
+// rate. The run is fully deterministic (fixed seeds), so the observed
+// coverage is a constant of the implementation; the [90%, 99%] band
+// allows the usual batch-means small-sample optimism without letting a
+// broken variance estimate through.
+TEST(Calibration, NinetyFivePercentIntervalsCoverLongRunTruth) {
+  const Netlist design = make_design1();
+  PowerEstimator estimator;
+  const std::vector<double> weights = estimator.net_toggle_weights(design);
+
+  // Long-run truth: one scalar run two orders of magnitude longer than
+  // the measured runs.
+  double truth = 0.0;
+  {
+    Simulator sim(design);
+    UniformStimulus stim(12345);
+    sim.warmup(stim, 256);
+    sim.run(stim, 1u << 18);
+    const ActivityStats& st = sim.stats();
+    for (std::size_t n = 0; n < weights.size(); ++n) {
+      truth += weights[n] * st.toggle_rate(NetId(static_cast<std::uint32_t>(n)));
+    }
+  }
+
+  const int kRuns = 100;
+  const std::uint64_t kCycles = 4096;
+  int covered = 0;
+  for (int run = 0; run < kRuns; ++run) {
+    Simulator sim(design);
+    sim.enable_batch_stats(16);
+    UniformStimulus stim(1000 + static_cast<std::uint64_t>(run));
+    sim.warmup(stim, 256);
+    sim.run(stim, kCycles);
+    const SeriesInterval ci =
+        obs::weighted_interval(sim.stats().net_batches, weights, /*lanes=*/1, 0.95);
+    ASSERT_EQ(ci.batches, kCycles / 16);
+    ASSERT_GT(ci.halfwidth, 0.0);
+    if (std::abs(ci.mean - truth) <= ci.halfwidth) ++covered;
+  }
+  EXPECT_GE(covered, 90) << "95% CIs cover the truth only " << covered << "/100 times";
+  EXPECT_LE(covered, 99) << "95% CIs are too wide: covered " << covered << "/100 times";
+}
+
+}  // namespace
+}  // namespace opiso

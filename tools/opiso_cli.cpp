@@ -17,6 +17,8 @@
 //   opiso sweep    <design...> [options]        multithreaded simulation sweep
 //       --seeds N   --cycles N   --lanes N   --threads N   --sim scalar|parallel
 //       --no-prelint (skip the per-task lint pre-flight)
+//   opiso coverage <design> [options]           stimulus-coverage report
+//       --min-coverage-pct P (the CI gate)  --metrics out.json
 //   opiso report diff <a.json> <b.json>         tolerance-aware report diff
 //       [--tolerances FILE] [--subset]          exit 0 match, 1 diff, 2 usage
 //   opiso wave     <design> [options]           per-cycle power waveform
@@ -43,11 +45,14 @@
 #include "baseline/control_signal_gating.hpp"
 #include "designs/designs.hpp"
 #include "frontend/rtl_parser.hpp"
+#include "isolation/candidates.hpp"
 #include "isolation/report.hpp"
+#include "isolation/savings.hpp"
 #include "lint/lint.hpp"
 #include "lower/gate_level.hpp"
 #include "netlist/stats.hpp"
 #include "netlist/text_io.hpp"
+#include "netlist/traversal.hpp"
 #include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -92,6 +97,14 @@ using namespace opiso;
       "                             of replaying the dirty cone of the committed\n"
       "                             banks (results are bit-identical either way;\n"
       "                             --incremental restores the default)\n"
+      "      --confidence-level P   batch-means confidence level (default 0.95);\n"
+      "                             the run report gains opiso.confidence/v1 and\n"
+      "                             opiso.coverage/v1 sections (on by default;\n"
+      "                             --no-confidence disables the collection)\n"
+      "      --batch-frames N       frames per batch-means window (default 16)\n"
+      "      --min-ci-halfwidth MW  flag the run (exit 3, converged:false in the\n"
+      "                             report) when the final power CI half-width\n"
+      "                             exceeds MW — never silently extends the run\n"
       "  explain    <design> --candidate NAME run Algorithm 1, then print the\n"
       "      Eq. 1-5 decision narrative for one candidate from the power-\n"
       "      attribution ledger (accepts the isolate options; exits 1 if the\n"
@@ -136,6 +149,14 @@ using namespace opiso;
       "                             isolate options); report rows gain\n"
       "                             power_before/after_mw, power_reduction_pct,\n"
       "                             iterations and modules_isolated\n"
+      "      --confidence-level P / --batch-frames N / --min-ci-halfwidth MW\n"
+      "                             collect batch-means confidence per task:\n"
+      "                             rows gain opiso.confidence/v1 and\n"
+      "                             opiso.coverage/v1 sections (bitwise identical\n"
+      "                             across --threads, --sim, and plane widths);\n"
+      "                             an under-converged task fails with\n"
+      "                             confidence.under-converged in the\n"
+      "                             opiso.task_failures/v1 section (exit 3)\n"
       "      designs are builtin names (fig1, design1, design2) or files;\n"
       "      --metrics FILE writes the deterministic sweep report — it is\n"
       "      bitwise identical for any --threads and --sim value;\n"
@@ -143,6 +164,13 @@ using namespace opiso;
       "      sweeps are fault-isolated: a throwing or over-budget task is\n"
       "      recorded in the report's opiso.task_failures/v1 section while\n"
       "      the remaining tasks complete (exit code 3)\n"
+      "  coverage   <design>                  stimulus-coverage report: net\n"
+      "      toggle coverage, never-toggled nets, and per-candidate activation-\n"
+      "      signal exercise counts under the isolate measurement discipline\n"
+      "      (accepts --cycles/--warmup/--sim/--lanes/--lookahead);\n"
+      "      --metrics FILE writes the opiso.coverage/v1 document\n"
+      "      --min-coverage-pct P   exit 1 when net toggle coverage is below P\n"
+      "                             (the CI coverage gate)\n"
       "  report diff <a.json> <b.json>        structural report diff:\n"
       "      --tolerances FILE      opiso.report_tolerances/v1 rule file\n"
       "      --subset               A is an expected subset of B\n"
@@ -173,6 +201,10 @@ using namespace opiso;
       "\n"
       "observability (any command):\n"
       "  --trace FILE     write a Chrome-trace JSON timeline of the run\n"
+      "  --metrics-prom FILE  write the metrics registry in Prometheus text\n"
+      "                   exposition format (counters/gauges/histograms with\n"
+      "                   cumulative power-of-two buckets); FILE '-' = stdout;\n"
+      "                   the JSON outputs are unchanged\n"
       "  --metrics FILE   write a metrics JSON snapshot; FILE '-' = stdout\n"
       "                   (human output moves to stderr so stdout stays\n"
       "                   one pipeable JSON document)\n"
@@ -186,8 +218,9 @@ using namespace opiso;
       "\n"
       "exit codes: 0 success; 1 command failure (error, verify mismatch,\n"
       "report divergence, lint findings at or above --fail-on severity);\n"
-      "2 usage; 3 sweep completed with failed tasks (the report is still\n"
-      "written in full).\n"
+      "2 usage; 3 completed-but-flagged (sweep recorded task failures, or\n"
+      "isolate missed --min-ci-halfwidth); the report is still written in\n"
+      "full.\n"
       "\n"
       "<design> is a .rtn structural netlist or a .rtl RTL-language file\n"
       "(chosen by extension).\n";
@@ -240,6 +273,13 @@ struct Args {
   std::vector<std::string> only_passes;
   bool no_prelint = false;
   bool sweep_isolate = false;
+  double confidence_level = 0.95;
+  bool confidence_flags = false;  ///< any --confidence-*/--min-ci-halfwidth/--batch-frames seen
+  double min_ci_halfwidth = -1.0;
+  std::uint32_t batch_frames = 16;
+  bool no_confidence = false;
+  double min_coverage_pct = -1.0;
+  std::string metrics_prom_path;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -334,6 +374,23 @@ Args parse_args(int argc, char** argv) {
       args.no_prelint = true;
     } else if (a == "--isolate") {
       args.sweep_isolate = true;
+    } else if (a == "--confidence-level") {
+      args.confidence_level = std::stod(value());
+      if (args.confidence_level <= 0.0 || args.confidence_level >= 1.0) usage();
+      args.confidence_flags = true;
+    } else if (a == "--min-ci-halfwidth") {
+      args.min_ci_halfwidth = std::stod(value());
+      args.confidence_flags = true;
+    } else if (a == "--batch-frames") {
+      args.batch_frames = static_cast<std::uint32_t>(std::stoul(value()));
+      if (args.batch_frames == 0) usage();
+      args.confidence_flags = true;
+    } else if (a == "--no-confidence") {
+      args.no_confidence = true;
+    } else if (a == "--min-coverage-pct") {
+      args.min_coverage_pct = std::stod(value());
+    } else if (a == "--metrics-prom") {
+      args.metrics_prom_path = value();
     } else if (!a.empty() && a[0] == '-') {
       usage();
     } else {
@@ -371,7 +428,8 @@ void write_json_file(const std::string& path, const obs::JsonValue& doc) {
 /// routed to stdout: falls back to stderr whenever any JSON artifact
 /// targets "-" so stdout parses as one JSON document.
 std::ostream& human_out(const Args& args) {
-  const bool stdout_is_json = args.metrics_path == "-" || args.trace_power_path == "-";
+  const bool stdout_is_json = args.metrics_path == "-" || args.trace_power_path == "-" ||
+                              args.metrics_prom_path == "-";
   return stdout_is_json ? std::cerr : std::cout;
 }
 
@@ -380,6 +438,16 @@ std::ostream& human_out(const Args& args) {
 void write_obs_artifacts(const Args& args, bool metrics_written) {
   if (!args.metrics_path.empty() && !metrics_written) {
     write_json_file(args.metrics_path, obs::metrics().snapshot());
+  }
+  if (!args.metrics_prom_path.empty()) {
+    if (args.metrics_prom_path == "-") {
+      obs::metrics().write_prometheus(std::cout);
+    } else {
+      std::ofstream os(args.metrics_prom_path);
+      if (!os) throw Error("cannot open '" + args.metrics_prom_path + "' for writing");
+      obs::metrics().write_prometheus(os);
+      std::cerr << "wrote " << args.metrics_prom_path << "\n";
+    }
   }
   if (!args.trace_path.empty()) {
     std::ofstream os(args.trace_path);
@@ -488,7 +556,11 @@ int run_sweep_cmd(const Args& args, bool& metrics_written) {
   // installs the per-task engine config and stimulus factories.
   std::shared_ptr<const IsolationOptions> iso;
   if (args.sweep_isolate) {
-    iso = std::make_shared<const IsolationOptions>(isolate_options(args));
+    IsolationOptions o = isolate_options(args);
+    // Confidence stays opt-in for sweeps (per-task t.confidence below):
+    // existing sweep reports keep their exact shape unless asked.
+    o.confidence = {};
+    iso = std::make_shared<const IsolationOptions>(std::move(o));
   }
   std::vector<SweepTask> tasks;
   for (const std::string& name : args.positional) {
@@ -502,6 +574,12 @@ int run_sweep_cmd(const Args& args, bool& metrics_written) {
       t.cycles = std::max<std::uint64_t>(1, args.cycles / t.lanes);
       t.warmup = args.warmup;
       t.engine = args.sim_engine_set ? args.sim_engine : SimEngineKind::Parallel;
+      if (args.confidence_flags && !args.no_confidence) {
+        t.confidence.enabled = true;
+        t.confidence.level = args.confidence_level;
+        t.confidence.batch_frames = args.batch_frames;
+        t.confidence.min_power_ci_halfwidth_mw = args.min_ci_halfwidth;
+      }
       t.isolate = iso;
       tasks.push_back(std::move(t));
     }
@@ -602,6 +680,13 @@ IsolationOptions isolate_options(const Args& args) {
   opt.bdd_node_budget = args.bdd_budget;
   opt.activation.register_lookahead = args.lookahead;
   opt.incremental = args.incremental;
+  // Confidence collection defaults on for isolate-family commands;
+  // --no-confidence disables it (plain sweeps enable it only when a
+  // confidence flag is given, so throughput benches stay unchanged).
+  opt.confidence.enabled = !args.no_confidence;
+  opt.confidence.level = args.confidence_level;
+  opt.confidence.batch_frames = args.batch_frames;
+  opt.confidence.min_power_ci_halfwidth_mw = args.min_ci_halfwidth;
   opt.sim_engine = args.sim_engine;
   if (args.lanes != 0) opt.sim_lanes = args.lanes;
   if (opt.sim_engine == SimEngineKind::Parallel) {
@@ -713,6 +798,80 @@ int run_wave_cmd(const Args& args, const Netlist& design) {
   return 0;
 }
 
+/// `opiso coverage <design>`: one measurement round under the identical
+/// discipline run_operand_isolation's final measure uses (same engine
+/// split, same probes), rendered as the standalone opiso.coverage/v1
+/// document — so a raw design's coverage matches the section an isolate
+/// run would embed for it.
+int run_coverage_cmd(const Args& args, bool& metrics_written) {
+  if (args.positional.size() != 1) usage();
+  const Netlist design = make_sweep_design(args.positional[0]);
+  IsolationOptions opt = isolate_options(args);
+  if (args.warmup > 0) opt.warmup_cycles = args.warmup;
+
+  ExprPool pool;
+  NetVarMap vars;
+  const ActivationAnalysis analysis = derive_activation(design, pool, vars, opt.activation);
+  const std::vector<CombBlock> blocks = combinational_blocks(design);
+  const std::vector<IsolationCandidate> cands =
+      identify_candidates(design, blocks, analysis, pool, opt.candidates);
+  SavingsEstimator estimator(design, pool, vars, cands, opt.power);
+
+  ActivityStats stats;
+  if (opt.sim_engine == SimEngineKind::Parallel) {
+    ParallelSimulator sim(design, opt.sim_lanes, &pool, &vars);
+    if (opt.confidence.enabled) sim.enable_batch_stats(opt.confidence.batch_frames);
+    estimator.register_probes(sim);
+    sim.set_stimulus(opt.lane_stimuli);
+    const std::uint64_t lanes = sim.lanes();
+    if (opt.warmup_cycles > 0) sim.warmup((opt.warmup_cycles + lanes - 1) / lanes);
+    sim.run(std::max<std::uint64_t>(1, opt.sim_cycles / lanes));
+    stats = sim.stats();
+  } else {
+    Simulator sim(design, &pool, &vars);
+    if (opt.confidence.enabled) sim.enable_batch_stats(opt.confidence.batch_frames);
+    estimator.register_probes(sim);
+    UniformStimulus stim(1);
+    if (opt.warmup_cycles > 0) sim.warmup(stim, opt.warmup_cycles);
+    sim.run(stim, opt.sim_cycles);
+    stats = sim.stats();
+  }
+
+  std::vector<CandidateExercise> exercise;
+  exercise.reserve(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    exercise.push_back({design.cell(cands[i].cell).name, estimator.activation_probe(i)});
+  }
+  const obs::JsonValue doc = build_coverage_section(design, stats, exercise);
+
+  std::ostream& out = human_out(args);
+  const double pct = doc.at("toggle_coverage_pct").as_number();
+  out << "coverage: " << design.name() << ": " << doc.at("nets_toggled").as_uint64() << "/"
+      << doc.at("nets_total").as_uint64() << " nets toggled (" << pct << "%) over "
+      << doc.at("cycles").as_uint64() << " cycles\n";
+  for (const obs::JsonValue& n : doc.at("never_toggled").elements()) {
+    out << "  never toggled: " << n.as_string() << "\n";
+  }
+  for (const obs::JsonValue& c : doc.at("candidates").elements()) {
+    out << "  candidate " << c.at("cell").as_string() << ": active "
+        << c.at("active_cycles").as_uint64() << ", idle " << c.at("idle_cycles").as_uint64()
+        << ", activation toggles " << c.at("activation_toggles").as_uint64() << ", Pr[AS] "
+        << c.at("pr_active").as_number()
+        << (c.at("exercised").as_bool() ? "" : "  [NOT exercised]") << "\n";
+  }
+
+  if (!args.metrics_path.empty()) {
+    write_json_file(args.metrics_path, doc);
+    metrics_written = true;
+  }
+  if (args.min_coverage_pct >= 0.0 && pct < args.min_coverage_pct) {
+    std::cerr << "coverage: " << design.name() << " toggle coverage " << pct
+              << "% is below the required " << args.min_coverage_pct << "%\n";
+    return 1;
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 3) usage();
   const std::string cmd = argv[1];
@@ -746,6 +905,13 @@ int run(int argc, char** argv) {
     // (design1, design2, fig1) as well as files, like sweep.
     const Netlist design = make_sweep_design(args.positional[0]);
     const int rc = run_wave_cmd(args, design);
+    write_obs_artifacts(args, metrics_written);
+    return rc;
+  }
+  if (cmd == "coverage") {
+    // Before the shared load: coverage accepts builtin design names
+    // (design1, design2, fig1) as well as files, like sweep and wave.
+    const int rc = run_coverage_cmd(args, metrics_written);
     write_obs_artifacts(args, metrics_written);
     return rc;
   }
@@ -819,6 +985,13 @@ int run(int argc, char** argv) {
       metrics_written = true;
     }
     if (!args.out_path.empty()) emit(args, res.netlist);
+    if (opt.confidence.enabled && !res.confidence_converged) {
+      // The gate flags, never silently extends: the report (with
+      // converged:false) is already written in full.
+      std::cerr << "isolate: final power CI half-width exceeds --min-ci-halfwidth "
+                << args.min_ci_halfwidth << " mW [confidence.under-converged]\n";
+      exit_code = 3;
+    }
   } else if (cmd == "explain") {
     if (args.candidate.empty()) {
       std::cerr << "explain: --candidate NAME is required\n";
