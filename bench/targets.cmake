@@ -39,6 +39,9 @@ opiso_add_bench(bench_sweep)
 opiso_add_bench(bench_confidence opiso_frontend)
 target_compile_definitions(bench_confidence PRIVATE
     OPISO_RTL_DIR="${CMAKE_SOURCE_DIR}/designs_rtl")
+opiso_add_bench(bench_rewrite opiso_frontend opiso_opt)
+target_compile_definitions(bench_rewrite PRIVATE
+    OPISO_RTL_DIR="${CMAKE_SOURCE_DIR}/designs_rtl")
 
 # Bench smoke: the two table benches run in well under a second, so CI
 # (and any local `ctest -L bench-smoke`) regenerates BENCH_table{1,2}.json
@@ -70,3 +73,18 @@ ${CMAKE_SOURCE_DIR}/ci/bench_baseline/BENCH_sweep.baseline.json \
 ${CMAKE_BINARY_DIR}/bench_json/BENCH_sweep.json \
 --tolerances ${CMAKE_SOURCE_DIR}/ci/bench_baseline/sweep_structural_tolerances.json --subset")
 set_tests_properties(bench_sweep_structural PROPERTIES TIMEOUT 300 LABELS bench-smoke)
+
+# Same split for BENCH_rewrite.json: this ctest regenerates it and holds
+# the deterministic fields (power figures, module counts, the rewrite
+# advantage) to the committed snapshot; wall-clock fields are gated by
+# the rolling perf-trajectory CI job. The bench binary itself exits
+# nonzero unless rewriting strictly beats isolated-only somewhere, so
+# the acceptance inequality is enforced on every run.
+add_test(NAME bench_rewrite_structural
+         COMMAND sh -c "mkdir -p ${CMAKE_BINARY_DIR}/bench_json && \
+OPISO_BENCH_JSON_DIR=${CMAKE_BINARY_DIR}/bench_json $<TARGET_FILE:bench_rewrite> && \
+$<TARGET_FILE:opiso_cli> report diff \
+${CMAKE_SOURCE_DIR}/ci/bench_baseline/BENCH_rewrite.baseline.json \
+${CMAKE_BINARY_DIR}/bench_json/BENCH_rewrite.json \
+--tolerances ${CMAKE_SOURCE_DIR}/ci/bench_baseline/rewrite_structural_tolerances.json --subset")
+set_tests_properties(bench_rewrite_structural PROPERTIES TIMEOUT 600 LABELS bench-smoke)

@@ -147,6 +147,19 @@ IsolationResult run_operand_isolation(const Netlist& design, const StimulusFacto
   Netlist& nl = result.netlist;
   nl.validate();
 
+  if (opt.rewrite) {
+    // Datapath rewriting runs first so isolation sees the cheaper
+    // structure (and its fresh idle-prone operators). The rewrite
+    // inherits this run's cost weights and candidate width floor.
+    RewriteOptions ropt = opt.rewrite_options;
+    ropt.omega_p = opt.omega_p;
+    ropt.omega_a = opt.omega_a;
+    ropt.iso_min_width = opt.candidates.min_width;
+    const RewriteResult rw = rewrite_datapath(nl, ropt);
+    result.rewrite = rewrite_report_section(rw);
+    if (rw.rewritten) nl = rw.netlist;
+  }
+
   result.area_before_um2 = opt.area.total_area_um2(nl);
   result.slack_before_ns = run_sta(nl, opt.delay).worst_slack;
 

@@ -24,6 +24,7 @@
 #include "isolation/savings.hpp"
 #include "isolation/transform.hpp"
 #include "obs/confidence.hpp"
+#include "opt/rewrite_rules.hpp"
 #include "power/area_model.hpp"
 #include "power/estimator.hpp"
 #include "timing/sta.hpp"
@@ -105,6 +106,15 @@ struct IsolationOptions {
   /// (confidence_converged = false), never silently extended.
   obs::ConfidenceConfig confidence{};
 
+  /// Run the equality-saturation datapath rewrite (opt/rewrite_rules
+  /// .hpp) on the design before isolating. The rewrite shares this
+  /// run's ωp/ωa weights and candidate width floor; it degrades to the
+  /// unchanged input on any budget exhaustion and gates every extracted
+  /// netlist behind verify::equiv, so enabling it never changes
+  /// behavior — only (possibly) the structure isolation then works on.
+  bool rewrite = false;
+  RewriteOptions rewrite_options{};
+
   CandidateConfig candidates{};
   ActivationOptions activation{};  ///< e.g. register lookahead (Sec. 3)
   DelayModel delay{};
@@ -171,6 +181,9 @@ struct IsolationResult {
   /// opiso.confidence/v1 section from the same round; null unless
   /// options.confidence.enabled.
   obs::JsonValue confidence;
+  /// opiso.rewrite/v1 section describing the pre-isolation datapath
+  /// rewrite; null unless options.rewrite.
+  obs::JsonValue rewrite;
   /// False iff options.confidence set a min CI half-width and the final
   /// power interval missed it. Drivers flag this (task-failure style)
   /// instead of silently extending the simulation.

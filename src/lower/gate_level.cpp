@@ -269,11 +269,15 @@ GateLevelResult lower_to_gates(const Netlist& nl) {
     }
   }
 
-  // Primary outputs in original order.
+  // Primary outputs in original order. Bit names derive from the PO
+  // cell name (unique by construction), not the source net: two word
+  // outputs may share one driver net (CSE does this), and net-derived
+  // names would then collide.
   for (CellId po : nl.primary_outputs()) {
     const Cell& c = nl.cell(po);
     const auto& bits = bits_of(c.ins[0]);
-    const std::string base = nl.net(c.ins[0]).name;
+    std::string base = c.name;
+    if (base.rfind("po:", 0) == 0) base = base.substr(3);
     for (std::size_t i = 0; i < bits.size(); ++i) {
       res.netlist.add_output(base + ".po" + std::to_string(i), bits[i]);
     }

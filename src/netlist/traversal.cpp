@@ -26,13 +26,22 @@ std::vector<CellId> topological_order(const Netlist& nl) {
   const std::size_t n = nl.num_cells();
   std::vector<int> pending(n, 0);
   std::queue<CellId> ready;
+  // All sources are seeded before any combinational cell, regardless of
+  // cell id. A zero-dependency combinational cell whose inputs include
+  // a register Q must still evaluate after that register: the simulator
+  // refreshes Q from the captured state when it visits the Reg cell, so
+  // an id-interleaved seeding would hand later-created registers' old
+  // values to earlier-created readers.
   for (std::uint32_t i = 0; i < n; ++i) {
     const Cell& c = nl.cell(CellId{i});
     if (is_source(c.kind)) {
       pending[i] = 0;
       ready.push(CellId{i});
-      continue;
     }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Cell& c = nl.cell(CellId{i});
+    if (is_source(c.kind)) continue;
     int deps = 0;
     for (NetId in : c.ins) {
       const Cell& drv = nl.cell(nl.net(in).driver);

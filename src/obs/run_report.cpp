@@ -118,6 +118,7 @@ JsonValue build_run_report(const IsolationResult& result, const IsolationOptions
 
   if (!result.confidence.is_null()) doc["confidence"] = result.confidence;
   if (!result.coverage.is_null()) doc["coverage"] = result.coverage;
+  if (!result.rewrite.is_null()) doc["rewrite"] = result.rewrite;
 
   doc["power_attribution"] = build_power_attribution(result);
   if (Tracer::instance().enabled() && Tracer::instance().num_events() > 0) {

@@ -63,7 +63,12 @@ struct Rebuilder {
   std::vector<NetId> net_map;                      ///< old net -> new net
   std::vector<std::optional<std::uint64_t>> value; ///< new net -> const value
   std::map<std::pair<std::uint64_t, unsigned>, NetId> const_cache;
-  std::map<std::tuple<int, std::uint64_t, std::vector<std::uint32_t>>, NetId> cse_cache;
+  /// CSE key: (kind, param, input nets, output width). The width is
+  /// part of the key, so two structurally identical cells can only
+  /// merge when their results agree bit-for-bit — a hit never needs a
+  /// width check, and a mismatch can never poison the cache entry.
+  std::map<std::tuple<int, std::uint64_t, std::vector<std::uint32_t>, unsigned>, NetId>
+      cse_cache;
 
   explicit Rebuilder(const Netlist& nl, const OptimizeOptions& o, OptimizeStats& s)
       : old_nl(nl), opt(o), stats(s), out(nl.name()) {
@@ -115,14 +120,20 @@ struct Rebuilder {
       case CellKind::Buf:
         return alias(in[0], out_w);
       case CellKind::Not: {
-        const Cell& drv = out.cell(out.net(in[0]).driver);
+        // Register Q nets exist before their cells in phase A (the reg
+        // cells are created in phase B), so the input may be undriven.
+        const CellId drv_id = out.net(in[0]).driver;
+        if (!drv_id.valid()) return NetId::invalid();
+        const Cell& drv = out.cell(drv_id);
         if (drv.kind == CellKind::Not) return alias(drv.ins[0], out_w);  // double negation
         return NetId::invalid();
       }
       case CellKind::And:
         if (cv(0) == 0 || cv(1) == 0) { ++stats.simplified; return make_const(0, out_w, "zero"); }
-        if (cv(0) == full(0)) return alias(in[1], out_w);
-        if (cv(1) == full(1)) return alias(in[0], out_w);
+        // The all-ones identity needs the constant to span the output
+        // word: a narrower ones-constant is zero-extended and masks.
+        if (cv(0) == full(0) && out.net(in[0]).width == out_w) return alias(in[1], out_w);
+        if (cv(1) == full(1) && out.net(in[1]).width == out_w) return alias(in[0], out_w);
         if (in[0] == in[1]) return alias(in[0], out_w);
         return NetId::invalid();
       case CellKind::Or:
@@ -169,6 +180,15 @@ struct Rebuilder {
           ++stats.simplified;
           return make_const(0, out_w, "zero");
         }
+        // AS constant-0: a dead OR-isolated module forces all-ones,
+        // symmetric with the IsoAnd zero rule above (same width guard
+        // as the Or ones-rule: only fold when the data input spans the
+        // full output word).
+        if (c.kind == CellKind::IsoOr && cv(1) == 0 &&
+            out.net(in[0]).width == out_w) {
+          ++stats.simplified;
+          return make_const(width_mask(out_w), out_w, "ones");
+        }
         return NetId::invalid();
       default:
         return NetId::invalid();
@@ -214,21 +234,20 @@ Netlist optimize(const Netlist& nl, const OptimizeOptions& opt, OptimizeStats* s
   }
 
   // ---- phase A0a: primary inputs (interface, original order).
-  NetId any_1bit;
   for (CellId pi : nl.primary_inputs()) {
     const Cell& c = nl.cell(pi);
     const NetId net = rb.out.add_input(nl.net(c.out).name, c.width);
     rb.value.resize(rb.out.num_nets());
     rb.net_map[c.out.value()] = net;
-    if (c.width == 1 && !any_1bit.valid()) any_1bit = net;
   }
 
-  // ---- phase A0b: live registers (their outputs are sources). The D
-  // pin temporarily self-loops on Q and the EN pin borrows any 1-bit
-  // net; both are patched in phase B once everything is mapped, so no
-  // placeholder cells survive.
+  // ---- phase A0b: live registers. Only their Q nets are created here
+  // (register outputs are sources for the combinational rebuild); the
+  // Reg cells themselves are added in phase B, once every D/EN cone is
+  // mapped, so no placeholder pins or cells ever exist.
   struct RegPatch {
-    CellId new_cell;
+    std::string name;
+    NetId q;
     NetId old_d;
     NetId old_en;
   };
@@ -237,14 +256,9 @@ Netlist optimize(const Netlist& nl, const OptimizeOptions& opt, OptimizeStats* s
     const Cell& c = nl.cell(id);
     if (c.kind != CellKind::Reg || !live_cell[id.value()]) continue;
     const NetId q = rb.out.add_net(rb.out.fresh_net_name(nl.net(c.out).name), c.width);
-    const NetId ph_en = any_1bit.valid() ? any_1bit
-                        : c.width == 1   ? q
-                                         : rb.make_const(0, 1, "ph");
-    const CellId new_reg =
-        rb.out.add_cell(CellKind::Reg, rb.out.fresh_cell_name(c.name), {q, ph_en}, q);
     rb.value.resize(rb.out.num_nets());
     rb.net_map[c.out.value()] = q;
-    patches.push_back(RegPatch{new_reg, c.ins[0], c.ins[1]});
+    patches.push_back(RegPatch{c.name, q, c.ins[0], c.ins[1]});
   }
 
   // ---- phase A: combinational cells in topological order.
@@ -296,13 +310,12 @@ Netlist optimize(const Netlist& nl, const OptimizeOptions& opt, OptimizeStats* s
         if (opt.cse && is_foldable(c.kind) && c.kind != CellKind::IsoLatch) {
           std::vector<std::uint32_t> key_ins;
           for (NetId n : in) key_ins.push_back(n.value());
-          const auto key = std::make_tuple(static_cast<int>(c.kind), c.param, key_ins);
+          const auto key =
+              std::make_tuple(static_cast<int>(c.kind), c.param, key_ins, c.width);
           if (auto it = rb.cse_cache.find(key); it != rb.cse_cache.end()) {
-            if (rb.out.net(it->second).width == c.width) {
-              rb.net_map[c.out.value()] = it->second;
-              ++stats.cse_merged;
-              break;
-            }
+            rb.net_map[c.out.value()] = it->second;
+            ++stats.cse_merged;
+            break;
           }
           const NetId net =
               rb.make_cell(c.kind, c.name, nl.net(c.out).name, c.width, in, c.param);
@@ -317,10 +330,10 @@ Netlist optimize(const Netlist& nl, const OptimizeOptions& opt, OptimizeStats* s
     }
   }
 
-  // ---- phase B: patch register pins.
+  // ---- phase B: create the register cells on their real pins.
   for (const RegPatch& p : patches) {
-    rb.out.reconnect_input(p.new_cell, 0, rb.mapped(p.old_d));
-    rb.out.reconnect_input(p.new_cell, 1, rb.mapped(p.old_en));
+    rb.out.add_cell(CellKind::Reg, rb.out.fresh_cell_name(p.name),
+                    {rb.mapped(p.old_d), rb.mapped(p.old_en)}, p.q);
   }
 
   // ---- phase C: primary outputs in original order.

@@ -1,0 +1,901 @@
+#include "opt/rewrite_rules.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "netlist/traversal.hpp"
+#include "obs/metrics.hpp"
+#include "opt/egraph.hpp"
+#include "power/area_model.hpp"
+#include "power/estimator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "support/error.hpp"
+#include "verify/equiv.hpp"
+
+namespace opiso {
+namespace {
+
+std::uint64_t width_mask(unsigned width) {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+/// Sequential/boundary cells whose outputs the rewriter treats as
+/// opaque leaves: the e-graph never looks through state.
+bool is_leaf_kind(CellKind kind) {
+  return kind == CellKind::PrimaryInput || kind == CellKind::Reg || cell_kind_is_latch(kind);
+}
+
+bool is_op_kind(CellKind kind) {
+  return !is_leaf_kind(kind) && kind != CellKind::Constant && kind != CellKind::PrimaryOutput;
+}
+
+/// Word-level evaluation of one operator — identical semantics to the
+/// simulator's eval_scalar_cell and the optimizer's constant folder:
+/// inputs are masked to their own widths already, the result is masked
+/// to the node's width.
+std::uint64_t eval_node(CellKind kind, std::uint64_t param, unsigned out_width,
+                        const std::vector<std::uint64_t>& in) {
+  std::uint64_t out = 0;
+  switch (kind) {
+    case CellKind::Add: out = in[0] + in[1]; break;
+    case CellKind::Sub: out = in[0] - in[1]; break;
+    case CellKind::Mul: out = in[0] * in[1]; break;
+    case CellKind::Eq: out = in[0] == in[1]; break;
+    case CellKind::Lt: out = in[0] < in[1]; break;
+    case CellKind::Shl: out = param >= 64 ? 0 : in[0] << param; break;
+    case CellKind::Shr: out = param >= 64 ? 0 : in[0] >> param; break;
+    case CellKind::Not: out = ~in[0]; break;
+    case CellKind::Buf: out = in[0]; break;
+    case CellKind::And: out = in[0] & in[1]; break;
+    case CellKind::Or: out = in[0] | in[1]; break;
+    case CellKind::Xor: out = in[0] ^ in[1]; break;
+    case CellKind::Nand: out = ~(in[0] & in[1]); break;
+    case CellKind::Nor: out = ~(in[0] | in[1]); break;
+    case CellKind::Xnor: out = ~(in[0] ^ in[1]); break;
+    case CellKind::Mux2: out = (in[0] & 1) ? in[2] : in[1]; break;
+    case CellKind::IsoAnd: out = (in[1] & 1) ? in[0] : 0; break;
+    case CellKind::IsoOr: out = (in[1] & 1) ? in[0] : ~std::uint64_t{0}; break;
+    default: throw NetlistError("rewrite: eval_node on non-operator kind");
+  }
+  return out & width_mask(out_width);
+}
+
+// ---------------------------------------------------------------------
+// Netlist -> e-graph
+// ---------------------------------------------------------------------
+
+struct GraphBuild {
+  EGraph g;
+  std::vector<EClassId> class_of_net;  ///< old net -> class (where has_class)
+  std::vector<char> has_class;
+  std::vector<std::string> hint;       ///< class id (at allocation) -> net name
+};
+
+GraphBuild build_egraph(const Netlist& nl) {
+  GraphBuild b;
+  b.class_of_net.assign(nl.num_nets(), 0);
+  b.has_class.assign(nl.num_nets(), 0);
+  for (CellId id : topological_order(nl)) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::PrimaryOutput) continue;
+    ENode n;
+    n.width = c.width;
+    if (is_leaf_kind(c.kind)) {
+      n.kind = c.kind;
+      n.param = c.out.value();
+    } else if (c.kind == CellKind::Constant) {
+      n.kind = CellKind::Constant;
+      n.param = c.param & width_mask(c.width);
+    } else {
+      n.kind = c.kind;
+      n.param = (c.kind == CellKind::Shl || c.kind == CellKind::Shr) ? c.param : 0;
+      n.children.reserve(c.ins.size());
+      for (NetId in : c.ins) {
+        OPISO_REQUIRE(b.has_class[in.value()], "rewrite: input net without e-class");
+        n.children.push_back(b.class_of_net[in.value()]);
+      }
+    }
+    const EClassId cls = b.g.add(std::move(n));
+    b.class_of_net[c.out.value()] = cls;
+    b.has_class[c.out.value()] = 1;
+    if (cls >= b.hint.size()) b.hint.resize(cls + 1);
+    if (b.hint[cls].empty()) b.hint[cls] = nl.net(c.out).name;
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------
+// Rule set (width-sound by construction; see each rule's guard)
+// ---------------------------------------------------------------------
+
+bool is_commutative(CellKind k) {
+  switch (k) {
+    case CellKind::Add:
+    case CellKind::Mul:
+    case CellKind::And:
+    case CellKind::Or:
+    case CellKind::Xor:
+    case CellKind::Nand:
+    case CellKind::Nor:
+    case CellKind::Xnor:
+    case CellKind::Eq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_associative(CellKind k) {
+  // Sub is not associative; Add needs the width guard applied at the
+  // match site (intermediate truncation must agree on both groupings).
+  switch (k) {
+    case CellKind::Add:
+    case CellKind::Mul:
+    case CellKind::And:
+    case CellKind::Or:
+    case CellKind::Xor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Operators muxes may be hoisted through. Add/Sub additionally need
+/// the no-differential-truncation width guards checked at the site.
+bool is_mux_hoistable(CellKind k) {
+  switch (k) {
+    case CellKind::Add:
+    case CellKind::Sub:
+    case CellKind::Mul:
+    case CellKind::And:
+    case CellKind::Or:
+    case CellKind::Xor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct Saturator {
+  EGraph& g;
+  const RewriteOptions& opt;
+  std::map<std::string, std::uint64_t>& fired;
+  std::uint64_t merges_done = 0;
+
+  EClassId mk(CellKind kind, std::uint64_t param, std::vector<EClassId> children) {
+    std::vector<unsigned> ws;
+    ws.reserve(children.size());
+    for (EClassId c : children) ws.push_back(g.width(c));
+    ENode n;
+    n.kind = kind;
+    n.param = param;
+    n.width = EGraph::node_width(kind, param, ws);
+    n.children = std::move(children);
+    return g.add(std::move(n));
+  }
+
+  EClassId mk_const(std::uint64_t value, unsigned width) {
+    ENode n;
+    n.kind = CellKind::Constant;
+    n.param = value & width_mask(width);
+    n.width = width;
+    return g.add(std::move(n));
+  }
+
+  /// Merge with the global width safety net: a rule whose conclusion
+  /// lands at a different width than the matched class is silently a
+  /// no-op (it would change the value lattice), never an error.
+  void unite(EClassId cls, EClassId other, const char* rule) {
+    if (g.width(cls) != g.width(other)) return;
+    if (g.merge(cls, other)) {
+      ++merges_done;
+      ++fired[rule];
+    }
+  }
+
+  /// One saturation round over a snapshot of the graph. Returns true if
+  /// the graph changed (merge happened or a genuinely new node stuck).
+  bool round() {
+    struct Item {
+      EClassId cls;
+      ENode node;
+    };
+    std::vector<Item> items;
+    for (EClassId c : g.class_ids()) {
+      for (const ENode& n : g.nodes(c)) items.push_back(Item{c, n});
+    }
+    const std::uint64_t merges0 = merges_done;
+    const std::size_t nodes0 = g.num_nodes();
+    for (const Item& it : items) {
+      if (g.num_nodes() > opt.max_nodes) break;
+      apply_rules(it.cls, it.node);
+    }
+    g.rebuild();
+    return merges_done != merges0 || g.num_nodes() != nodes0;
+  }
+
+  void apply_rules(EClassId cls, const ENode& n) {
+    if (!is_op_kind(n.kind)) return;
+    const unsigned W = n.width;
+    const auto ch = [&](std::size_t i) { return g.find(n.children[i]); };
+    const auto cw = [&](std::size_t i) { return g.width(n.children[i]); };
+    const auto cv = [&](std::size_t i) { return g.const_value(n.children[i]); };
+
+    // -- constant folding: all operands constant -> fold to a constant.
+    {
+      bool all_const = !n.children.empty();
+      std::vector<std::uint64_t> vals;
+      vals.reserve(n.children.size());
+      for (std::size_t i = 0; i < n.children.size(); ++i) {
+        const auto v = cv(i);
+        if (!v) {
+          all_const = false;
+          break;
+        }
+        vals.push_back(*v);
+      }
+      if (all_const) unite(cls, mk_const(eval_node(n.kind, n.param, W, vals), W), "const-fold");
+    }
+
+    // -- commutativity.
+    if (is_commutative(n.kind) && n.children.size() == 2) {
+      unite(cls, mk(n.kind, n.param, {ch(1), ch(0)}), "comm");
+    }
+
+    // -- associativity: (a K b) K y  =>  a K (b K y). The symmetric
+    // grouping follows from commutativity in a later round. For Add the
+    // regrouping is only sound when neither grouping truncates an
+    // intermediate below W (counterexample otherwise: widths 1,1,8).
+    if (is_associative(n.kind)) {
+      const std::vector<ENode> lhs = g.nodes(ch(0));  // copy: adds may reallocate
+      for (const ENode& m : lhs) {
+        if (m.kind != n.kind) continue;
+        const EClassId a = g.find(m.children[0]);
+        const EClassId b = g.find(m.children[1]);
+        if (n.kind == CellKind::Add) {
+          const unsigned inner_w = std::max(g.width(b), g.width(ch(1)));
+          if (cw(0) != W || inner_w != W) continue;
+        }
+        unite(cls, mk(n.kind, 0, {a, mk(n.kind, 0, {b, ch(1)})}), "assoc");
+      }
+    }
+
+    switch (n.kind) {
+      case CellKind::Add:
+        if (cv(0) == std::uint64_t{0}) unite(cls, ch(1), "identity");
+        if (cv(1) == std::uint64_t{0}) unite(cls, ch(0), "identity");
+        break;
+      case CellKind::Sub:
+        if (cv(1) == std::uint64_t{0}) unite(cls, ch(0), "identity");
+        if (ch(0) == ch(1)) unite(cls, mk_const(0, W), "identity");
+        break;
+      case CellKind::Mul:
+        if (cv(0) == std::uint64_t{0} || cv(1) == std::uint64_t{0}) {
+          unite(cls, mk_const(0, W), "identity");
+        }
+        if (const auto c1 = cv(1)) mul_const_decompose(cls, W, ch(0), *c1);
+        if (const auto c0 = cv(0)) mul_const_decompose(cls, W, ch(1), *c0);
+        break;
+      case CellKind::And:
+        if (cv(0) == std::uint64_t{0} || cv(1) == std::uint64_t{0}) {
+          unite(cls, mk_const(0, W), "identity");
+        }
+        // All-ones identity: sound only when the constant spans the
+        // full output word (a narrower ones-constant still masks).
+        if (cv(0) == width_mask(cw(0)) && cw(0) == W) unite(cls, ch(1), "identity");
+        if (cv(1) == width_mask(cw(1)) && cw(1) == W) unite(cls, ch(0), "identity");
+        if (ch(0) == ch(1)) unite(cls, ch(0), "identity");
+        break;
+      case CellKind::Or:
+        if (cv(0) == std::uint64_t{0}) unite(cls, ch(1), "identity");
+        if (cv(1) == std::uint64_t{0}) unite(cls, ch(0), "identity");
+        if (ch(0) == ch(1)) unite(cls, ch(0), "identity");
+        if (((cv(0) == width_mask(cw(0))) || (cv(1) == width_mask(cw(1)))) && cw(0) == W &&
+            cw(1) == W) {
+          unite(cls, mk_const(width_mask(W), W), "identity");
+        }
+        break;
+      case CellKind::Xor:
+        if (cv(0) == std::uint64_t{0}) unite(cls, ch(1), "identity");
+        if (cv(1) == std::uint64_t{0}) unite(cls, ch(0), "identity");
+        if (ch(0) == ch(1)) unite(cls, mk_const(0, W), "identity");
+        break;
+      case CellKind::Eq:
+        if (ch(0) == ch(1)) unite(cls, mk_const(1, 1), "identity");
+        break;
+      case CellKind::Lt:
+        if (ch(0) == ch(1)) unite(cls, mk_const(0, 1), "identity");
+        break;
+      case CellKind::Shl:
+      case CellKind::Shr:
+        if (n.param == 0) unite(cls, ch(0), "identity");
+        break;
+      case CellKind::Buf:
+        unite(cls, ch(0), "identity");
+        break;
+      case CellKind::Not: {
+        const std::vector<ENode> inner = g.nodes(ch(0));
+        for (const ENode& m : inner) {
+          if (m.kind == CellKind::Not) unite(cls, g.find(m.children[0]), "identity");
+        }
+        break;
+      }
+      case CellKind::Mux2: {
+        if (const auto sel = cv(0)) unite(cls, (*sel & 1) ? ch(2) : ch(1), "identity");
+        if (ch(1) == ch(2)) unite(cls, ch(1), "identity");
+        mux_factor(cls, W, ch(0), ch(1), ch(2));
+        break;
+      }
+      case CellKind::IsoAnd:
+        if (const auto as = cv(1)) {
+          if ((*as & 1) == 1) unite(cls, ch(0), "identity");
+          else unite(cls, mk_const(0, W), "identity");
+        }
+        break;
+      case CellKind::IsoOr:
+        if (const auto as = cv(1)) {
+          if ((*as & 1) == 1) unite(cls, ch(0), "identity");
+          else unite(cls, mk_const(width_mask(W), W), "identity");
+        }
+        break;
+      default:
+        break;
+    }
+
+    // -- mux distribution: K(mux(s,a,b), y) => mux(s, K(a,y), K(b,y)),
+    // both operand sides. The inverse (factoring) is matched on Mux2
+    // nodes above.
+    if (is_mux_hoistable(n.kind) && n.children.size() == 2) {
+      mux_distribute(cls, n.kind, W, ch(0), ch(1), /*mux_on_left=*/true);
+      mux_distribute(cls, n.kind, W, ch(1), ch(0), /*mux_on_left=*/false);
+    }
+  }
+
+  /// mux(s, K(a,c), K(b,c)) => K(mux(s,a,b), c) — hoist the shared
+  /// operator out of the mux legs (shared operand on either side).
+  /// For Add/Sub both legs must already be W wide, otherwise the
+  /// narrow leg's truncation has no counterpart after hoisting.
+  void mux_factor(EClassId cls, unsigned W, EClassId s, EClassId leg_a, EClassId leg_b) {
+    const std::vector<ENode> an = g.nodes(leg_a);
+    const std::vector<ENode> bn = g.nodes(leg_b);
+    for (const ENode& p : an) {
+      if (!is_mux_hoistable(p.kind)) continue;
+      for (const ENode& q : bn) {
+        if (q.kind != p.kind) continue;
+        if ((p.kind == CellKind::Add || p.kind == CellKind::Sub) &&
+            (g.width(leg_a) != W || g.width(leg_b) != W)) {
+          continue;
+        }
+        const EClassId pa = g.find(p.children[0]);
+        const EClassId pb = g.find(p.children[1]);
+        const EClassId qa = g.find(q.children[0]);
+        const EClassId qb = g.find(q.children[1]);
+        if (pb == qb && g.width(pa) == g.width(qa)) {
+          unite(cls, mk(p.kind, 0, {mk(CellKind::Mux2, 0, {s, pa, qa}), pb}), "mux-factor");
+        }
+        if (pa == qa && g.width(pb) == g.width(qb)) {
+          unite(cls, mk(p.kind, 0, {pa, mk(CellKind::Mux2, 0, {s, pb, qb})}), "mux-factor");
+        }
+      }
+    }
+  }
+
+  /// K(mux(s,a,b), y) => mux(s, K(a,y), K(b,y)) (and mirrored when the
+  /// mux is the right operand). For Add/Sub every leg must compute at
+  /// the full width W so no leg truncates where the original did not.
+  void mux_distribute(EClassId cls, CellKind k, unsigned W, EClassId mux_side, EClassId other,
+                      bool mux_on_left) {
+    const std::vector<ENode> muxes = g.nodes(mux_side);
+    for (const ENode& m : muxes) {
+      if (m.kind != CellKind::Mux2) continue;
+      const EClassId s = g.find(m.children[0]);
+      const EClassId a = g.find(m.children[1]);
+      const EClassId b = g.find(m.children[2]);
+      if (k == CellKind::Add || k == CellKind::Sub) {
+        const unsigned wo = g.width(other);
+        if (std::max(g.width(a), wo) != W || std::max(g.width(b), wo) != W) continue;
+      }
+      const EClassId la = mux_on_left ? mk(k, 0, {a, other}) : mk(k, 0, {other, a});
+      const EClassId lb = mux_on_left ? mk(k, 0, {b, other}) : mk(k, 0, {other, b});
+      if (g.width(la) != g.width(lb)) continue;
+      unite(cls, mk(CellKind::Mux2, 0, {s, la, lb}), "mux-distribute");
+    }
+  }
+
+  /// x * C => sum/difference of shifts of zero-extended x. Exact at any
+  /// width: the product width W admits the full shifted terms, and the
+  /// mod-2^W arithmetic of Add/Sub/Shl matches Mul's own truncation.
+  /// Handles C = 2^k, 2^k + 2^j and 2^k - 2^j (covers 3, 5, 6, 7, 10,
+  /// 12, 14, ... — the common filter coefficients).
+  void mul_const_decompose(EClassId cls, unsigned W, EClassId x, std::uint64_t c) {
+    if (c == 0) return;  // annihilator rule handles it
+    const auto zext = [&](EClassId v) {
+      // No explicit zext cell exists; Or with a W-wide zero constant is
+      // the width-adapter idiom (value-identical, W wide).
+      if (g.width(v) == W) return v;
+      return mk(CellKind::Or, 0, {v, mk_const(0, W)});
+    };
+    const auto term = [&](unsigned k) {
+      return k == 0 ? zext(x) : mk(CellKind::Shl, k, {zext(x)});
+    };
+    const auto floor_log2 = [](std::uint64_t v) {
+      unsigned k = 0;
+      while (v >>= 1) ++k;
+      return k;
+    };
+    const bool pow2 = (c & (c - 1)) == 0;
+    if (c == 1) {
+      unite(cls, zext(x), "mul-shift-add");
+    } else if (pow2) {
+      unite(cls, term(floor_log2(c)), "mul-shift-add");
+    } else if (__builtin_popcountll(c) == 2) {
+      const unsigned k = floor_log2(c);
+      const unsigned j = static_cast<unsigned>(__builtin_ctzll(c));
+      unite(cls, mk(CellKind::Add, 0, {term(k), term(j)}), "mul-shift-add");
+    } else {
+      const unsigned j = static_cast<unsigned>(__builtin_ctzll(c));
+      const std::uint64_t up = c + (std::uint64_t{1} << j);
+      if (up != 0 && (up & (up - 1)) == 0) {
+        unite(cls, mk(CellKind::Sub, 0, {term(floor_log2(up)), term(j)}), "mul-shift-add");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// Profiling + isolation-aware extraction
+// ---------------------------------------------------------------------
+
+/// Per-net settled-value tape of the profiling run.
+class TapeSink final : public FrameSink {
+ public:
+  std::vector<std::vector<std::uint64_t>> frames;
+  void on_frame(std::uint64_t, const std::uint64_t* data, std::size_t n) override {
+    frames.emplace_back(data, data + n);
+  }
+};
+
+struct Profile {
+  std::vector<std::vector<std::uint64_t>> frames;  ///< per cycle, per net
+  ActivityStats stats;
+  double pr_idle = 0.0;  ///< width-weighted mean Pr(reg EN == 0)
+};
+
+Profile profile_activity(const Netlist& nl, const RewriteOptions& opt) {
+  Profile p;
+  Simulator sim(nl);
+  UniformStimulus stim(opt.profile_seed);
+  sim.warmup(stim, opt.profile_warmup);
+  TapeSink tape;
+  sim.set_frame_sink(&tape);
+  sim.run(stim, opt.profile_cycles);
+  sim.set_frame_sink(nullptr);
+  p.frames = std::move(tape.frames);
+  p.stats = sim.stats();
+  double wsum = 0.0, isum = 0.0;
+  for (CellId id : nl.cell_ids()) {
+    const Cell& c = nl.cell(id);
+    if (c.kind != CellKind::Reg) continue;
+    wsum += c.width;
+    isum += c.width * (1.0 - p.stats.prob_one(c.ins[1]));
+  }
+  p.pr_idle = wsum > 0.0 ? isum / wsum : 0.0;
+  return p;
+}
+
+/// Per-node extraction cost implementing the paper's ranking
+/// h(c) = ωp·rP − ωa·rA: normalized macro power at the profiled toggle
+/// rates — discounted by the measured register idle probability for
+/// isolatable arithmetic, since that fraction is what operand isolation
+/// downstream can recover — plus the ωa-weighted cell area. Leaves and
+/// constants are free.
+struct CostModel {
+  MacroPowerModel power;
+  AreaModel area;
+  double p0 = 1.0;  ///< normalizer: estimated input-netlist power
+  double a0 = 1.0;  ///< normalizer: input-netlist area
+  double pr_idle = 0.0;
+  double omega_p = 1.0;
+  double omega_a = 0.2;
+  unsigned iso_min_width = 2;
+
+  double node_cost(const EGraph& g, const ENode& n, const std::vector<double>& rate) const {
+    if (!is_op_kind(n.kind)) return 0.0;
+    std::vector<double> rates;
+    rates.reserve(n.children.size());
+    for (EClassId c : n.children) rates.push_back(rate[g.find(c)]);
+    double pw = power.module_power_mw(n.kind, n.width, rates);
+    if (cell_kind_is_arith(n.kind) && n.width >= iso_min_width) pw *= (1.0 - pr_idle);
+    const double aw = area.cell_area_um2(n.kind, n.width);
+    return omega_p * (pw / p0) + omega_a * (aw / a0);
+  }
+};
+
+struct Extraction {
+  std::vector<ENode> choice;    ///< per class: min-cost node
+  std::vector<char> has_choice;
+  std::vector<double> cost;     ///< per class: min DAG-node cost sum (tree-shared)
+  std::vector<double> rate;     ///< per class: toggles/cycle of the class value
+};
+
+/// Evaluate every e-class's value stream over the profiling tape (all
+/// nodes of a class are equivalent, so any evaluable representative
+/// serves), then pick the min-cost node per class by fixpoint. Both
+/// passes iterate classes in canonical-id order with strict-improvement
+/// updates, so results are bitwise deterministic.
+Extraction extract(const EGraph& g, const GraphBuild& b, const Profile& prof,
+                   const CostModel& cm) {
+  const std::size_t slots = [&] {
+    std::size_t mx = 0;
+    for (EClassId c : g.class_ids()) mx = std::max<std::size_t>(mx, c + 1);
+    return mx;
+  }();
+  const std::size_t T = prof.frames.size();
+  OPISO_REQUIRE(T >= 2, "rewrite: profiling produced fewer than 2 frames");
+
+  // Pass 1: class value streams, in evaluability order.
+  std::vector<std::vector<std::uint64_t>> vals(slots);
+  std::vector<char> evaluated(slots, 0);
+  std::vector<EClassId> order;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (EClassId c : g.class_ids()) {
+      if (evaluated[c]) continue;
+      for (const ENode& n : g.nodes(c)) {
+        bool ready = true;
+        if (is_op_kind(n.kind)) {
+          for (EClassId chc : n.children) {
+            if (!evaluated[g.find(chc)]) {
+              ready = false;
+              break;
+            }
+          }
+        }
+        if (!ready) continue;
+        std::vector<std::uint64_t>& v = vals[c];
+        v.resize(T);
+        const std::uint64_t m = width_mask(n.width);
+        if (n.kind == CellKind::Constant) {
+          for (std::size_t t = 0; t < T; ++t) v[t] = n.param & m;
+        } else if (is_leaf_kind(n.kind)) {
+          const std::size_t net = static_cast<std::size_t>(n.param);
+          for (std::size_t t = 0; t < T; ++t) v[t] = prof.frames[t][net] & m;
+        } else {
+          std::vector<std::uint64_t> ins(n.children.size());
+          for (std::size_t t = 0; t < T; ++t) {
+            for (std::size_t i = 0; i < n.children.size(); ++i) {
+              ins[i] = vals[g.find(n.children[i])][t];
+            }
+            v[t] = eval_node(n.kind, n.param, n.width, ins);
+          }
+        }
+        evaluated[c] = 1;
+        order.push_back(c);
+        progress = true;
+        break;
+      }
+    }
+  }
+
+  Extraction ex;
+  ex.rate.assign(slots, 0.0);
+  for (EClassId c : order) {
+    std::uint64_t toggles = 0;
+    for (std::size_t t = 1; t < T; ++t) {
+      toggles += static_cast<std::uint64_t>(__builtin_popcountll(vals[c][t] ^ vals[c][t - 1]));
+    }
+    ex.rate[c] = static_cast<double>(toggles) / static_cast<double>(T - 1);
+  }
+
+  // Pass 2: min-cost representative per class.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ex.cost.assign(slots, kInf);
+  ex.choice.resize(slots);
+  ex.has_choice.assign(slots, 0);
+  progress = true;
+  while (progress) {
+    progress = false;
+    for (EClassId c : g.class_ids()) {
+      for (const ENode& n : g.nodes(c)) {
+        double total = cm.node_cost(g, n, ex.rate);
+        bool ok = true;
+        for (EClassId chc : n.children) {
+          const double cc = ex.cost[g.find(chc)];
+          if (!(cc < kInf)) {
+            ok = false;
+            break;
+          }
+          total += cc;
+        }
+        if (ok && total < ex.cost[c] - 1e-12) {
+          ex.cost[c] = total;
+          ex.choice[c] = n;
+          ex.has_choice[c] = 1;
+          progress = true;
+        }
+      }
+    }
+  }
+  (void)b;
+  return ex;
+}
+
+// ---------------------------------------------------------------------
+// Emission: extracted e-graph -> netlist
+// ---------------------------------------------------------------------
+
+/// The emitter preserves exactly what verify::equiv matches by name or
+/// position: primary-input names, register/latch output-net names and
+/// widths, register/latch cell names, and primary-output order. All
+/// interior nets are fresh.
+struct Emitter {
+  const Netlist& old;
+  const EGraph& g;
+  const GraphBuild& b;
+  const Extraction& ex;
+  Netlist out;
+  std::map<EClassId, NetId> done;  ///< canonical class -> emitted net
+  double emitted_cost = 0.0;       ///< Σ node cost over emitted cells (DAG)
+  const std::vector<double>* rate = nullptr;
+  const CostModel* cm = nullptr;
+
+  explicit Emitter(const Netlist& nl, const EGraph& graph, const GraphBuild& build,
+                   const Extraction& extraction)
+      : old(nl), g(graph), b(build), ex(extraction), out(nl.name()) {}
+
+  std::string hint_name(EClassId c) const {
+    if (c < b.hint.size() && !b.hint[c].empty()) return b.hint[c];
+    return "rw";
+  }
+
+  NetId emit(EClassId c0) {
+    const EClassId c = g.find(c0);
+    const auto it = done.find(c);
+    if (it != done.end()) return it->second;
+    OPISO_REQUIRE(ex.has_choice[c], "rewrite: extraction left class " + std::to_string(c) +
+                                        " without a representative");
+    const ENode& n = ex.choice[c];
+    NetId net;
+    if (n.kind == CellKind::Constant) {
+      net = out.add_const(out.fresh_net_name(hint_name(c)), n.param, n.width);
+    } else {
+      OPISO_REQUIRE(is_op_kind(n.kind), "rewrite: leaf class was not pre-seeded");
+      std::vector<NetId> ins;
+      ins.reserve(n.children.size());
+      for (EClassId chc : n.children) ins.push_back(emit(chc));
+      net = out.add_net(out.fresh_net_name(hint_name(c)), n.width);
+      out.add_cell(n.kind, out.fresh_cell_name(hint_name(c)), ins, net, n.param);
+      if (cm != nullptr) emitted_cost += cm->node_cost(g, n, *rate);
+    }
+    done.emplace(c, net);
+    return net;
+  }
+
+  Netlist run() {
+    // Boundary first: PIs keep their names; state output nets keep
+    // their exact original names (verify::equiv matches registers by
+    // lowered Q-bit-net name).
+    for (CellId id : old.cell_ids()) {
+      const Cell& c = old.cell(id);
+      if (c.kind == CellKind::PrimaryInput) {
+        const NetId pi = out.add_input(old.net(c.out).name, c.width);
+        done.emplace(g.find(b.class_of_net[c.out.value()]), pi);
+      } else if (c.kind == CellKind::Reg || cell_kind_is_latch(c.kind)) {
+        const NetId q = out.add_net(old.net(c.out).name, c.width);
+        done.emplace(g.find(b.class_of_net[c.out.value()]), q);
+      }
+    }
+    // Cones: state D/EN first, then POs; state cells go in last (the
+    // simulator's topological order seeds all sources ahead of
+    // combinational logic regardless of creation order).
+    struct StatePatch {
+      CellKind kind;
+      std::string name;
+      NetId d, en, q;
+    };
+    std::vector<StatePatch> patches;
+    for (CellId id : old.cell_ids()) {
+      const Cell& c = old.cell(id);
+      if (c.kind != CellKind::Reg && !cell_kind_is_latch(c.kind)) continue;
+      StatePatch p;
+      p.kind = c.kind;
+      p.name = c.name;
+      p.d = emit(b.class_of_net[c.ins[0].value()]);
+      p.en = emit(b.class_of_net[c.ins[1].value()]);
+      p.q = done.at(g.find(b.class_of_net[c.out.value()]));
+      patches.push_back(std::move(p));
+    }
+    std::vector<std::pair<std::string, NetId>> pos;
+    for (CellId id : old.cell_ids()) {
+      const Cell& c = old.cell(id);
+      if (c.kind != CellKind::PrimaryOutput) continue;
+      pos.emplace_back(c.name, emit(b.class_of_net[c.ins[0].value()]));
+    }
+    for (const StatePatch& p : patches) {
+      out.add_cell(p.kind, p.name, {p.d, p.en}, p.q);
+    }
+    for (const auto& [name, net] : pos) out.add_output(name, net);
+    out.validate();
+    return std::move(out);
+  }
+};
+
+bool netlist_has_latches(const Netlist& nl) {
+  for (CellId id : nl.cell_ids()) {
+    if (cell_kind_is_latch(nl.cell(id).kind)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RewriteResult rewrite_datapath(const Netlist& nl, const RewriteOptions& opt) {
+  nl.validate();
+  obs::metrics().counter("rewrite.runs").add(1);
+  RewriteResult res;
+  res.netlist = nl;
+  res.cells_before = nl.num_cells();
+  res.cells_after = nl.num_cells();
+  if (netlist_has_latches(nl)) {
+    res.fallback_reason = "latch-bearing design: verify::equiv has no latch semantics";
+    obs::metrics().counter("rewrite.fallbacks").add(1);
+    return res;
+  }
+  bool has_pi = false;
+  for (CellId id : nl.cell_ids()) {
+    if (nl.cell(id).kind == CellKind::PrimaryInput) has_pi = true;
+  }
+  if (!has_pi) {
+    res.fallback_reason = "design has no primary inputs to profile";
+    obs::metrics().counter("rewrite.fallbacks").add(1);
+    return res;
+  }
+
+  try {
+    // 1. Profile the input netlist (always the scalar engine with a
+    //    fixed seed: the report section must be bitwise identical no
+    //    matter which engine/thread count the surrounding flow uses).
+    const Profile prof = profile_activity(nl, opt);
+
+    // 2. Saturate.
+    GraphBuild b = build_egraph(nl);
+    Saturator sat{b.g, opt, res.rules_fired};
+    for (unsigned it = 0; it < opt.max_iterations; ++it) {
+      if (b.g.num_nodes() > opt.max_nodes) break;
+      ++res.iterations;
+      if (!sat.round()) {
+        res.saturated = true;
+        break;
+      }
+    }
+    res.egraph_classes = b.g.num_classes();
+    res.egraph_nodes = b.g.num_nodes();
+    if (b.g.num_nodes() > opt.max_nodes) {
+      res.budget_exhausted = true;
+      res.fallback_reason = "e-node budget exhausted (" + std::to_string(b.g.num_nodes()) +
+                            " > " + std::to_string(opt.max_nodes) + ")";
+      obs::metrics().counter("rewrite.budget_fallbacks").add(1);
+      return res;
+    }
+
+    // 3. Extract with the isolation-aware cost model.
+    CostModel cm;
+    cm.pr_idle = prof.pr_idle;
+    cm.omega_p = opt.omega_p;
+    cm.omega_a = opt.omega_a;
+    cm.iso_min_width = opt.iso_min_width;
+    PowerEstimator estimator(cm.power);
+    res.est_power_before_mw = estimator.estimate(nl, prof.stats).total_mw;
+    cm.p0 = res.est_power_before_mw > 0.0 ? res.est_power_before_mw : 1.0;
+    const double a0 = cm.area.total_area_um2(nl);
+    cm.a0 = a0 > 0.0 ? a0 : 1.0;
+    res.pr_idle = prof.pr_idle;
+    const Extraction ex = extract(b.g, b, prof, cm);
+
+    // Cost of the input netlist under the identical model (same class
+    // toggle rates), so the comparison is apples-to-apples.
+    double cost_before = 0.0;
+    for (CellId id : nl.cell_ids()) {
+      const Cell& c = nl.cell(id);
+      if (!is_op_kind(c.kind) || c.kind == CellKind::PrimaryOutput) continue;
+      ENode n;
+      n.kind = c.kind;
+      n.param = (c.kind == CellKind::Shl || c.kind == CellKind::Shr) ? c.param : 0;
+      n.width = c.width;
+      for (NetId in : c.ins) n.children.push_back(b.class_of_net[in.value()]);
+      cost_before += cm.node_cost(b.g, n, ex.rate);
+    }
+    res.cost_before = cost_before;
+
+    // 4. Emit + verify.
+    Emitter em(nl, b.g, b, ex);
+    em.cm = &cm;
+    em.rate = &ex.rate;
+    Netlist rewritten = em.run();
+    res.cost_after = em.emitted_cost;
+    if (!(res.cost_after < res.cost_before - 1e-12)) {
+      res.fallback_reason = "extraction found no cheaper representative";
+      obs::metrics().counter("rewrite.no_improvement").add(1);
+      return res;
+    }
+    if (opt.verify) {
+      BddBudget budget;
+      budget.max_nodes = opt.bdd_node_budget;
+      const EquivResult eq = check_isolation_equivalence(nl, rewritten, budget);
+      res.verify_obligations = eq.obligations_checked;
+      if (!eq.equivalent) {
+        res.fallback_reason = "verify::equiv rejected the extraction: " + eq.reason;
+        obs::metrics().counter("rewrite.verify_rejections").add(1);
+        return res;
+      }
+      res.verified = true;
+    }
+    res.cells_after = rewritten.num_cells();
+    res.netlist = std::move(rewritten);
+    res.rewritten = true;
+    obs::metrics().counter("rewrite.applied").add(1);
+
+    // 5. Honest power delta: re-profile the rewritten netlist with the
+    //    same stimulus and report the macro-model estimate.
+    const Profile after = profile_activity(res.netlist, opt);
+    res.est_power_after_mw = estimator.estimate(res.netlist, after.stats).total_mw;
+  } catch (const ResourceError& e) {
+    res.netlist = nl;
+    res.rewritten = false;
+    res.verified = false;
+    res.cells_after = nl.num_cells();
+    res.fallback_reason = std::string("resource budget: ") + e.what();
+    obs::metrics().counter("rewrite.budget_fallbacks").add(1);
+  } catch (const Error& e) {
+    // The rewrite pass is advisory: any internal failure degrades to
+    // the (already validated) input netlist instead of aborting the
+    // surrounding isolation flow.
+    res.netlist = nl;
+    res.rewritten = false;
+    res.verified = false;
+    res.cells_after = nl.num_cells();
+    res.fallback_reason = std::string("internal: ") + e.what();
+    obs::metrics().counter("rewrite.fallbacks").add(1);
+  }
+  return res;
+}
+
+obs::JsonValue rewrite_report_section(const RewriteResult& r) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc["schema"] = "opiso.rewrite/v1";
+  doc["rewritten"] = r.rewritten;
+  doc["verified"] = r.verified;
+  if (!r.fallback_reason.empty()) doc["fallback_reason"] = r.fallback_reason;
+  doc["iterations"] = r.iterations;
+  doc["saturated"] = r.saturated;
+  doc["budget_exhausted"] = r.budget_exhausted;
+  obs::JsonValue eg = obs::JsonValue::object();
+  eg["classes"] = static_cast<std::uint64_t>(r.egraph_classes);
+  eg["nodes"] = static_cast<std::uint64_t>(r.egraph_nodes);
+  doc["egraph"] = std::move(eg);
+  obs::JsonValue rules = obs::JsonValue::object();
+  for (const auto& [name, count] : r.rules_fired) rules[name] = count;
+  doc["rules_fired"] = std::move(rules);
+  obs::JsonValue ext = obs::JsonValue::object();
+  ext["cost_before"] = r.cost_before;
+  ext["cost_after"] = r.cost_after;
+  ext["est_power_before_mw"] = r.est_power_before_mw;
+  ext["est_power_after_mw"] = r.est_power_after_mw;
+  ext["pr_idle"] = r.pr_idle;
+  doc["extraction"] = std::move(ext);
+  obs::JsonValue cells = obs::JsonValue::object();
+  cells["before"] = static_cast<std::uint64_t>(r.cells_before);
+  cells["after"] = static_cast<std::uint64_t>(r.cells_after);
+  doc["cells"] = std::move(cells);
+  obs::JsonValue ver = obs::JsonValue::object();
+  ver["obligations_checked"] = static_cast<std::uint64_t>(r.verify_obligations);
+  doc["verify"] = std::move(ver);
+  return doc;
+}
+
+}  // namespace opiso

@@ -1,0 +1,89 @@
+#pragma once
+// Equality-saturation datapath rewriting in front of operand isolation.
+//
+// The paper observes (Sec. 6) that the inserted activation logic "made
+// additional Boolean optimizations possible"; Coward et al. (PAPERS.md)
+// close the loop from the other side — many datapaths only expose good
+// isolation candidates *after* algebraic rewriting. This module runs a
+// bounded equality saturation over the word-level netlist (opt/egraph.hpp)
+// with a fixed, width-sound rule set, then extracts the representative
+// netlist that minimizes the paper's own cost ranking
+//
+//     h(c) = ωp·rP − ωa·rA      (Sec. 5.1)
+//
+// evaluated per e-node: estimated macro-model power at activity rates
+// measured by a short profiling simulation — discounted by the measured
+// register idle probability for isolatable arithmetic, so the extractor
+// prefers forms whose expensive operators sit behind idle enables — plus
+// the ωa-weighted area term. Minimizing the summed per-node cost is the
+// same ordering as maximizing Σ h over the isolation candidates the
+// rewritten netlist will expose.
+//
+// Safety: every rewrite rule is width-sound by construction (merges
+// across widths are rejected by the e-graph), saturation is bounded by
+// the PR-4 resource-budget pattern (node/iteration caps degrade to
+// "input unchanged", never fail), and every extracted netlist must pass
+// verify::equiv before it replaces the input — a verification failure
+// or BDD-budget blow-up falls back to the original netlist and says so
+// in the opiso.rewrite/v1 report section.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "obs/json.hpp"
+
+namespace opiso {
+
+struct RewriteOptions {
+  unsigned max_iterations = 8;       ///< saturation rounds (iteration cap)
+  std::size_t max_nodes = 20000;     ///< e-node cap; exceeded => input unchanged
+  std::uint64_t profile_seed = 0x5EED0001;  ///< profiling-sim stimulus seed
+  std::uint64_t profile_cycles = 256;       ///< measured profiling cycles
+  std::uint64_t profile_warmup = 32;        ///< reset-transient flush
+  double omega_p = 1.0;              ///< paper's ωp (power weight)
+  double omega_a = 0.2;              ///< paper's ωa (area weight)
+  unsigned iso_min_width = 2;        ///< isolatable-arith width floor (CandidateConfig)
+  std::size_t bdd_node_budget = 1u << 20;  ///< verify::equiv BDD budget (0 = unlimited)
+  bool verify = true;                ///< gate extraction behind verify::equiv
+};
+
+struct RewriteResult {
+  Netlist netlist;             ///< rewritten (and verified) netlist, or the input
+  bool rewritten = false;      ///< extraction improved the cost and was emitted
+  bool verified = false;       ///< verify::equiv proved the emitted netlist
+  std::string fallback_reason; ///< why the input was kept (empty when rewritten)
+
+  unsigned iterations = 0;     ///< saturation rounds actually run
+  bool saturated = false;      ///< rule set reached a fixpoint within budget
+  bool budget_exhausted = false;  ///< node cap hit (=> fallback)
+  std::size_t egraph_classes = 0;
+  std::size_t egraph_nodes = 0;
+  std::map<std::string, std::uint64_t> rules_fired;  ///< per rule-name merge count
+
+  double cost_before = 0.0;    ///< Σ node cost of the input netlist
+  double cost_after = 0.0;     ///< Σ node cost of the extracted netlist
+  double est_power_before_mw = 0.0;  ///< macro-model power at profiled activity
+  double est_power_after_mw = 0.0;   ///< same, re-profiled on the rewritten netlist
+  double pr_idle = 0.0;        ///< measured width-weighted register idle probability
+  std::size_t cells_before = 0;
+  std::size_t cells_after = 0;
+  std::size_t verify_obligations = 0;  ///< obligations verify::equiv discharged
+};
+
+/// Rewrite `nl` under `opt`. Never throws for resource reasons and never
+/// returns an unverified netlist: every non-identity result passed
+/// verify::equiv (unless opt.verify is disabled, for tests). The input
+/// must validate; latch-bearing designs fall back immediately (the
+/// equivalence checker has no latch semantics).
+[[nodiscard]] RewriteResult rewrite_datapath(const Netlist& nl, const RewriteOptions& opt = {});
+
+/// The opiso.rewrite/v1 run-report section: rules fired, e-graph size,
+/// extraction cost deltas, verification status. Deterministic for a
+/// given (netlist, options) — the profiling simulation is always the
+/// scalar engine with a fixed seed, independent of thread count or the
+/// simulation engine the surrounding flow uses.
+[[nodiscard]] obs::JsonValue rewrite_report_section(const RewriteResult& r);
+
+}  // namespace opiso

@@ -42,4 +42,12 @@ struct EquivResult {
 [[nodiscard]] EquivResult check_isolation_equivalence(const Netlist& original,
                                                       const Netlist& transformed);
 
+/// Budgeted variant: the internal BddManager is built with `budget`, so
+/// a blow-up throws ResourceError (resource.bdd-nodes) instead of
+/// running away — callers degrade the same way the activation-function
+/// derivation does (catch and fall back to the conservative answer).
+[[nodiscard]] EquivResult check_isolation_equivalence(const Netlist& original,
+                                                      const Netlist& transformed,
+                                                      const BddBudget& budget);
+
 }  // namespace opiso

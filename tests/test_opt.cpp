@@ -174,6 +174,81 @@ TEST(Opt, IdempotentOnBenchmarks) {
   EXPECT_LE(twice.num_cells(), once.num_cells());
 }
 
+// Regression: optimize() used to leave the 1-bit placeholder constant
+// from register reconstruction dangling in its output. Every constant
+// in the optimized netlist must have a reader.
+TEST(Opt, NoDanglingPlaceholderConstants) {
+  for (const Netlist& nl : {make_design1(8), make_design2(8, 4)}) {
+    const Netlist o = optimize(nl);
+    std::vector<int> readers(o.num_nets(), 0);
+    for (CellId id : o.cell_ids()) {
+      for (NetId in : o.cell(id).ins) ++readers[in.value()];
+    }
+    for (CellId id : o.cell_ids()) {
+      const Cell& c = o.cell(id);
+      if (c.kind != CellKind::Constant) continue;
+      EXPECT_GT(readers[c.out.value()], 0)
+          << "dangling constant '" << c.name << "' in optimized " << nl.name();
+    }
+  }
+}
+
+// Regression: IsoOr with a constant-0 activation forces all ones — the
+// symmetric fold of IsoAnd's constant-0 → 0.
+TEST(Opt, IsoOrConstantZeroActivationFoldsToOnes) {
+  Netlist nl;
+  NetId d = nl.add_input("d", 8);
+  NetId zero = nl.add_const("zero", 0, 1);
+  NetId blk = nl.add_iso(CellKind::IsoOr, "blk", d, zero);
+  nl.add_output("o", blk);
+  const Netlist o = optimize(nl);
+  const Cell& po = o.cell(o.primary_outputs()[0]);
+  const Cell& drv = o.cell(o.net(po.ins[0]).driver);
+  EXPECT_EQ(drv.kind, CellKind::Constant);
+  EXPECT_EQ(drv.param, 0xFFu);
+  testutil::expect_observably_equivalent(nl, o, 0x150A, 200);
+}
+
+// Regression: And with an all-ones constant *narrower* than the output
+// word is a mask (the constant zero-extends), not an identity.
+TEST(Opt, NarrowOnesConstantIsNotAnAndIdentity) {
+  Netlist nl;
+  NetId x = nl.add_input("x", 8);
+  NetId ones4 = nl.add_const("ones4", 0xF, 4);
+  NetId y = nl.add_binop(CellKind::And, "y", x, ones4);
+  nl.add_output("o", y);
+  const Netlist o = optimize(nl);
+  Simulator sim(o);
+  ConstantStimulus stim;
+  stim.set("x", 0xAB);
+  sim.run(stim, 2);
+  EXPECT_EQ(sim.net_value(o.cell(o.primary_outputs()[0]).ins[0]), 0x0Bu);
+}
+
+// Regression: the CSE cache is keyed on the output width too — two
+// constants with equal values but different widths are distinct (their
+// widths propagate into downstream truncation behavior).
+TEST(Opt, CseKeepsSameValueConstantsOfDifferentWidthsApart) {
+  Netlist nl;
+  NetId a = nl.add_input("a", 4);
+  NetId b = nl.add_input("b", 8);
+  NetId c4 = nl.add_const("c4", 7, 4);
+  NetId c8 = nl.add_const("c8", 7, 8);
+  NetId s1 = nl.add_binop(CellKind::Add, "s1", a, c4);  // width 4: wraps
+  NetId s2 = nl.add_binop(CellKind::Add, "s2", b, c8);  // width 8
+  nl.add_output("o1", s1);
+  nl.add_output("o2", s2);
+  const Netlist o = optimize(nl);
+  Simulator sim(o);
+  ConstantStimulus stim;
+  stim.set("a", 15);
+  stim.set("b", 15);
+  sim.run(stim, 2);
+  EXPECT_EQ(sim.net_value(o.cell(o.primary_outputs()[0]).ins[0]), 6u);
+  EXPECT_EQ(sim.net_value(o.cell(o.primary_outputs()[1]).ins[0]), 22u);
+  testutil::expect_observably_equivalent(nl, o, 0xC5E1, 200);
+}
+
 TEST(Opt, DisabledPassesDoNothing) {
   Netlist nl;
   NetId a = nl.add_const("a", 1, 8);

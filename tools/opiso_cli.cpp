@@ -10,6 +10,8 @@
 //   opiso explain  <design> --candidate NAME    per-candidate Eq. 1-5
 //       decision narrative from the power-attribution ledger
 //   opiso optimize <design> [-o out.rtn]        optimization passes
+//   opiso rewrite  <design> [-o out.rtn]        equality-saturation datapath
+//       rewrite (isolation-aware extraction, verify::equiv-gated)
 //   opiso lower    <design> [-o out.rtn]        gate-level expansion
 //   opiso verify   <original> <transformed>     BDD equivalence proof
 //   opiso lint     <design...> [options]        static analysis (pass-based)
@@ -62,6 +64,7 @@
 #include "obs/vcd.hpp"
 #include "obs/wave.hpp"
 #include "opt/passes.hpp"
+#include "opt/rewrite_rules.hpp"
 #include "power/estimator.hpp"
 #include "power/power_trace.hpp"
 #include "sim/cycle_trace.hpp"
@@ -105,11 +108,19 @@ using namespace opiso;
       "      --min-ci-halfwidth MW  flag the run (exit 3, converged:false in the\n"
       "                             report) when the final power CI half-width\n"
       "                             exceeds MW — never silently extends the run\n"
+      "      --rewrite              rewrite the datapath (equality saturation,\n"
+      "                             isolation-aware extraction) before isolating;\n"
+      "                             the run report gains an opiso.rewrite/v1\n"
+      "                             section\n"
       "  explain    <design> --candidate NAME run Algorithm 1, then print the\n"
       "      Eq. 1-5 decision narrative for one candidate from the power-\n"
       "      attribution ledger (accepts the isolate options; exits 1 if the\n"
       "      candidate was never evaluated)\n"
       "  optimize   <design> [-o out.rtn]     optimization passes\n"
+      "  rewrite    <design> [-o out.rtn]     equality-saturation datapath\n"
+      "      rewrite with isolation-aware extraction; every emitted netlist is\n"
+      "      proven equivalent (verify::equiv) or the input passes through\n"
+      "      unchanged; --metrics FILE writes the opiso.rewrite/v1 section\n"
       "  lower      <design> [-o out.rtn]     gate-level expansion\n"
       "  verify     <original> <transformed>  BDD equivalence proof\n"
       "  lint       <design...>               static analysis; passes: comb_loop,\n"
@@ -280,6 +291,7 @@ struct Args {
   bool no_confidence = false;
   double min_coverage_pct = -1.0;
   std::string metrics_prom_path;
+  bool rewrite = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -389,6 +401,8 @@ Args parse_args(int argc, char** argv) {
       args.no_confidence = true;
     } else if (a == "--min-coverage-pct") {
       args.min_coverage_pct = std::stod(value());
+    } else if (a == "--rewrite") {
+      args.rewrite = true;
     } else if (a == "--metrics-prom") {
       args.metrics_prom_path = value();
     } else if (!a.empty() && a[0] == '-') {
@@ -680,6 +694,7 @@ IsolationOptions isolate_options(const Args& args) {
   opt.bdd_node_budget = args.bdd_budget;
   opt.activation.register_lookahead = args.lookahead;
   opt.incremental = args.incremental;
+  opt.rewrite = args.rewrite;
   // Confidence collection defaults on for isolate-family commands;
   // --no-confidence disables it (plain sweeps enable it only when a
   // confidence flag is given, so throughput benches stay unchanged).
@@ -1012,6 +1027,20 @@ int run(int argc, char** argv) {
               << stats.folded_constants << ", simplified " << stats.simplified << ", cse "
               << stats.cse_merged << ", dead " << stats.dead_removed << ")\n";
     emit(args, o);
+  } else if (cmd == "rewrite") {
+    const RewriteResult r = rewrite_datapath(design);
+    if (r.rewritten) {
+      std::cerr << "rewritten: cells " << r.cells_before << " -> " << r.cells_after
+                << ", cost " << r.cost_before << " -> " << r.cost_after << " ("
+                << r.verify_obligations << " equivalence obligations discharged)\n";
+    } else {
+      std::cerr << "unchanged: " << r.fallback_reason << "\n";
+    }
+    if (!args.metrics_path.empty()) {
+      write_json_file(args.metrics_path, rewrite_report_section(r));
+      metrics_written = true;
+    }
+    emit(args, r.netlist);
   } else if (cmd == "lower") {
     const GateLevelResult g = lower_to_gates(design);
     std::cerr << "lowered to " << g.netlist.num_cells() << " gate-level cells\n";
